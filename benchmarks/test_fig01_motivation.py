@@ -1,0 +1,25 @@
+"""Figure 1(e): relative fidelity of DD on none / all / q0-only / q2-only.
+
+Paper shape: applying DD to every idle qubit helps over no DD, but applying it
+to the right single qubit can help more.
+"""
+
+from repro.analysis import figure1_motivation_study
+
+from conftest import print_section, scale
+
+
+def test_fig01_motivation(benchmark):
+    ratios = benchmark(figure1_motivation_study, shots=scale(2048, 8192), seed=1)
+
+    print_section("Figure 1(e): relative fidelity of DD placement options")
+    for name, value in ratios.items():
+        print(f"  {name:12s} {value:6.3f}x")
+
+    assert ratios["no_dd"] == 1.0
+    best = max(ratios.values())
+    # Some DD placement should be at least as good as doing nothing.
+    assert best >= 1.0
+    # The best selective placement should not lose to All-DD by much.
+    selective_best = max(ratios["dd_q0_only"], ratios["dd_q2_only"])
+    assert selective_best >= ratios["dd_all"] - 0.05

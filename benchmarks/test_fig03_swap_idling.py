@@ -1,0 +1,32 @@
+"""Figure 3(b): SWAP-induced idle time of BV circuits, Toronto vs all-to-all.
+
+Paper shape: on the connectivity-constrained machine the idle time of the
+most-idle qubit grows much faster with circuit size than on a machine with
+identical error rates but all-to-all connectivity.
+"""
+
+from repro.analysis import figure3_swap_idle_study
+
+from conftest import print_section, scale
+
+
+def test_fig03_swap_idling(benchmark):
+    sizes = scale((5, 6, 7, 8), (4, 5, 6, 7, 8, 9, 10))
+    records = benchmark(figure3_swap_idle_study, sizes=sizes)
+
+    print_section("Figure 3(b): idle time of the most-idle qubit for BV circuits")
+    print(f"  {'qubits':>6s} {'topology':>14s} {'swaps':>6s} {'max idle (us)':>14s} {'latency (us)':>13s}")
+    for record in records:
+        print(
+            f"  {record.num_qubits:6d} {record.topology:>14s} {record.num_swaps:6d}"
+            f" {record.idle_time_us:14.2f} {record.latency_us:13.2f}"
+        )
+
+    constrained = {r.num_qubits: r for r in records if r.topology == "ibmq_toronto"}
+    ideal = {r.num_qubits: r for r in records if r.topology == "all-to-all"}
+    assert all(r.num_swaps == 0 for r in ideal.values())
+    largest = max(sizes)
+    assert constrained[largest].idle_time_us > ideal[largest].idle_time_us
+    assert sum(r.idle_time_us for r in constrained.values()) > sum(
+        r.idle_time_us for r in ideal.values()
+    )

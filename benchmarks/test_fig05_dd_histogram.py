@@ -1,0 +1,44 @@
+"""Figure 5: distribution of the relative fidelity of an idle qubit with DD.
+
+Paper shape: over the (idle qubit, CNOT link) combinations of IBMQ-Toronto,
+DD usually helps (ratio > 1) but there is a tail of combinations where DD
+*hurts* (ratio < 1) — the observation that motivates ADAPT.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import full_device_characterization, relative_dd_fidelity
+from repro.hardware import Backend
+
+from conftest import print_section, scale
+
+
+def test_fig05_relative_dd_fidelity_histogram(benchmark):
+    backend = Backend.from_name("ibmq_toronto")
+    records = benchmark(
+        full_device_characterization,
+        backend,
+        idle_ns=8000.0,
+        thetas=(math.pi / 3, math.pi / 2, 2 * math.pi / 3),
+        shots=scale(512, 2048),
+        max_combinations=scale(40, None),
+        seed=3,
+    )
+    ratios = relative_dd_fidelity(records)
+
+    bins = [0.0, 0.5, 0.8, 0.95, 1.05, 1.2, 1.5, 2.0, 10.0]
+    histogram, _ = np.histogram(ratios, bins=bins)
+    print_section("Figure 5: relative fidelity of the idle qubit with DD (Toronto)")
+    for low, high, count in zip(bins[:-1], bins[1:], histogram):
+        print(f"  [{low:4.2f}, {high:4.2f}) : {count}")
+    print(f"  helps: {sum(r > 1.02 for r in ratios)}   hurts: {sum(r < 0.98 for r in ratios)}")
+
+    assert len(ratios) >= 30
+    # DD helps for the majority of combinations...
+    assert np.mean(ratios) > 1.0
+    assert sum(r > 1.0 for r in ratios) > len(ratios) / 2
+    # ...and the spread is wide enough that blind application is risky.
+    assert max(ratios) > 1.1
+    assert min(ratios) < 1.0

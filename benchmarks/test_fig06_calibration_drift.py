@@ -1,0 +1,40 @@
+"""Figure 6: DD efficacy for one qubit/link changes across calibration cycles.
+
+Paper shape: the relative fidelity curve (vs initial-state angle) of the same
+qubit with the same active link differs from one calibration cycle to the
+next — in the paper DD flips from helping (1.27x) to hurting (0.35x) — so a
+one-off characterisation cannot decide where to apply DD.
+"""
+
+import numpy as np
+
+from repro.analysis import calibration_drift_study
+
+from conftest import print_section, scale
+
+
+def test_fig06_calibration_drift(benchmark):
+    results = benchmark(
+        calibration_drift_study,
+        "ibmq_toronto",
+        idle_qubit=12,
+        link=(17, 18),
+        cycles=tuple(range(scale(4, 8))),
+        idle_ns=2400.0,
+        shots=scale(1024, 8192),
+        seed=4,
+    )
+
+    print_section("Figure 6: relative DD fidelity of qubit 12 vs link (17,18) per calibration")
+    averages = {}
+    for cycle, rows in results.items():
+        values = [row["relative"] for row in rows]
+        averages[cycle] = float(np.mean(values))
+        rendered = " ".join(f"{v:.2f}" for v in values)
+        print(f"  calibration #{cycle}: per-theta relative fidelity [{rendered}]")
+
+    assert len(averages) >= 2
+    spread = max(averages.values()) - min(averages.values())
+    print(f"  spread of cycle-average relative fidelity: {spread:.3f}")
+    # The effectiveness of DD must drift measurably across calibrations.
+    assert spread > 0.01

@@ -1,0 +1,52 @@
+"""Figure 15: policy comparison on 16-qubit IBMQ-Guadalupe (XY4 and IBMQ-DD).
+
+Paper shape: on the newest, lowest-error machine, All-DD can slightly degrade
+fidelity for some of the larger workloads while ADAPT stays robust (>= 1x on
+average) and still captures the available gains.
+"""
+
+from repro.analysis import EvaluationConfig, run_machine_evaluation
+from repro.metrics import geometric_mean
+
+from conftest import print_section, scale
+
+
+def _config(dd_sequence: str) -> EvaluationConfig:
+    return EvaluationConfig(
+        dd_sequence=dd_sequence,
+        shots=scale(1536, 8192),
+        decoy_shots=scale(512, 4096),
+        trajectories=scale(50, 150),
+        include_runtime_best=False,
+        adapt_group_size=4,
+        seed=15,
+    )
+
+
+def test_fig15_guadalupe_policies(benchmark):
+    benchmarks = scale(("QFT-7A", "QPEA-5"), ("BV-8", "QFT-7A", "QFT-7B", "QAOA-10B", "QPEA-5"))
+
+    def run():
+        return {
+            "xy4": run_machine_evaluation("ibmq_guadalupe", benchmarks, _config("xy4")),
+            "ibmq_dd": run_machine_evaluation("ibmq_guadalupe", benchmarks, _config("ibmq_dd")),
+        }
+
+    results = benchmark(run)
+
+    for sequence, evaluations in results.items():
+        print_section(f"Figure 15 ({sequence}): relative fidelity on IBMQ-Guadalupe")
+        for evaluation in evaluations:
+            rels = {name: outcome.relative_fidelity for name, outcome in evaluation.outcomes.items()}
+            print(
+                f"  {evaluation.benchmark:8s} baseline {evaluation.baseline_fidelity:.3f} | "
+                + "  ".join(f"{name} {value:5.2f}x" for name, value in rels.items())
+            )
+
+    for sequence, evaluations in results.items():
+        adapt = [e.relative("adapt") for e in evaluations]
+        all_dd = [e.relative("all_dd") for e in evaluations]
+        # ADAPT stays robust (no big regressions on average)...
+        assert geometric_mean(adapt) >= 0.95
+        # ...and is at least competitive with indiscriminate DD.
+        assert geometric_mean(adapt) >= geometric_mean(all_dd) * 0.9

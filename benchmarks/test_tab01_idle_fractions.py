@@ -1,0 +1,39 @@
+"""Table 1: per-qubit idle fractions and No-DD / All-DD fidelity on IBMQ-Rome.
+
+Paper shape: qubits idle a large fraction of the program (>50% on average,
+up to ~90%), and All-DD helps some workloads (QFT, QAOA) while it can slightly
+hurt others (Adder).
+"""
+
+from repro.analysis import table1_idle_fractions
+
+from conftest import print_section, scale
+
+
+def test_tab01_idle_fractions(benchmark):
+    rows = benchmark(
+        table1_idle_fractions,
+        benchmarks=("QFT-5", "QAOA-5", "ADDER-4"),
+        shots=scale(2048, 16384),
+        seed=2,
+    )
+
+    print_section("Table 1: idling on IBMQ-Rome")
+    for row in rows:
+        fractions = " ".join(
+            f"{name}:{value * 100:4.0f}%" for name, value in row["idle_fraction"].items()
+        )
+        print(
+            f"  {row['benchmark']:8s} latency {row['latency_us']:6.2f} us | {fractions} |"
+            f" F(no DD) {row['fidelity_no_dd']:.3f}  F(all DD) {row['fidelity_all_dd']:.3f}"
+        )
+
+    by_name = {row["benchmark"]: row for row in rows}
+    qft = by_name["QFT-5"]
+    # QFT has the longest idle fractions of the three workloads.
+    assert max(qft["idle_fraction"].values()) > 0.4
+    for row in rows:
+        assert 0.0 < row["fidelity_no_dd"] <= 1.0
+        assert 0.0 < row["fidelity_all_dd"] <= 1.0
+    # DD should pay off for the idle-dominated QFT workload.
+    assert qft["fidelity_all_dd"] > qft["fidelity_no_dd"]

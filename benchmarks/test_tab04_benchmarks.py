@@ -1,0 +1,44 @@
+"""Table 4: characteristics of the benchmark suite after compilation.
+
+Absolute gate counts differ from the paper (different compiler, different
+calibration-day latencies) but the orderings hold: QFT-B variants are the
+deepest and most idle, BV the shallowest, QAOA-B heavier than QAOA-A.
+"""
+
+from repro.analysis import benchmark_characteristics_table, format_table
+
+from conftest import print_section
+
+
+def test_tab04_benchmark_characteristics(benchmark):
+    rows = benchmark(benchmark_characteristics_table, device_name="ibmq_toronto")
+
+    print_section("Table 4: compiled benchmark characteristics (IBMQ-Toronto)")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "benchmark", "num_qubits", "total_gates", "circuit_depth",
+                "num_swaps", "avg_idle_time_us",
+            ],
+        )
+    )
+
+    by_name = {row["benchmark"]: row for row in rows}
+    assert len(rows) == 11
+
+    # Size orderings from Table 4.
+    assert by_name["QFT-6B"]["total_gates"] > by_name["QFT-6A"]["total_gates"]
+    assert by_name["QFT-7B"]["total_gates"] > by_name["QFT-7A"]["total_gates"]
+    assert by_name["QAOA-8B"]["total_gates"] > by_name["QAOA-8A"]["total_gates"]
+    assert by_name["QAOA-10B"]["total_gates"] > by_name["QAOA-10A"]["total_gates"]
+    assert by_name["QFT-6B"]["circuit_depth"] > by_name["QFT-6A"]["circuit_depth"]
+
+    # Idle-time orderings: QFT workloads idle far more than BV.
+    assert by_name["QFT-7B"]["avg_idle_time_us"] > by_name["BV-7"]["avg_idle_time_us"]
+    assert by_name["QFT-6B"]["avg_idle_time_us"] > by_name["QFT-6A"]["avg_idle_time_us"]
+
+    for row in rows:
+        assert row["total_gates"] > 0
+        assert row["circuit_depth"] > 0
+        assert row["avg_idle_time_us"] >= 0.0

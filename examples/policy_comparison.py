@@ -1,0 +1,52 @@
+"""Compare the four DD policies (No-DD, All-DD, ADAPT, Runtime-Best) on a device.
+
+This is the Figure 13/14/15 experiment at example scale: for each benchmark the
+policies pick a DD qubit subset, the program runs on the noisy device model and
+the TVD fidelity against the ideal output is reported, absolute and relative to
+the No-DD baseline.
+
+Run with:  python examples/policy_comparison.py [device_name] [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis import EvaluationConfig, run_policy_comparison, table5_summary
+from repro.analysis.tables import format_table
+from repro.hardware import Backend
+
+
+def main(device_name: str = "ibmq_toronto", benchmarks=("QFT-6A", "QPEA-5", "BV-7")) -> None:
+    backend = Backend.from_name(device_name, cycle=0)
+    config = EvaluationConfig(
+        dd_sequence="xy4",
+        shots=4096,
+        decoy_shots=1024,
+        trajectories=80,
+        include_runtime_best=True,
+        runtime_best_max_evaluations=24,
+        seed=11,
+    )
+
+    evaluations = []
+    print(f"Policy comparison on {backend.name} (XY4 protocol)\n")
+    for name in benchmarks:
+        evaluation = run_policy_comparison(name, backend, config)
+        evaluations.append(evaluation)
+        print(f"{name}: baseline (No-DD) fidelity {evaluation.baseline_fidelity:.3f}")
+        for policy, outcome in evaluation.outcomes.items():
+            print(
+                f"    {policy:12s} fidelity {outcome.fidelity:.3f}"
+                f"  ({outcome.relative_fidelity:.2f}x)"
+                f"  dd-pulses {outcome.dd_pulse_count:4d}"
+                f"  evaluations {outcome.num_evaluations}"
+            )
+        print(f"    best policy: {evaluation.best_policy()}\n")
+
+    print("Summary (Table 5 style):")
+    print(format_table(table5_summary({device_name: evaluations})))
+
+
+if __name__ == "__main__":
+    device = sys.argv[1] if len(sys.argv) > 1 else "ibmq_toronto"
+    names = tuple(sys.argv[2:]) or ("QFT-6A", "QPEA-5", "BV-7")
+    main(device, names)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 517 editable installs fail on ``bdist_wheel``.  This shim lets
+``pip install -e . --no-build-isolation`` (and ``--no-use-pep517``) fall back
+to the classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from .characterization import (
+    DEFAULT_THETAS,
+    CharacterizationRecord,
+    calibration_drift_study,
+    full_device_characterization,
+    idle_characterization_circuit,
+    idle_qubit_fidelity,
+    pulse_type_study,
+    relative_dd_fidelity,
+    single_qubit_idling_study,
+)
+from .motivation import (
+    figure1_motivation_study,
+    figure3_swap_idle_study,
+    motivation_example_circuit,
+    table1_idle_fractions,
+)
+from .decoy_quality import (
+    DecoyCorrelation,
+    dd_combination_sweep,
+    decoy_correlation_study,
+    decoy_quality_table,
+)
+from .evaluation_runs import (
+    EvaluationConfig,
+    FIGURE13_BENCHMARKS,
+    FIGURE14_BENCHMARKS,
+    FIGURE15_BENCHMARKS,
+    run_machine_evaluation,
+    run_policy_comparison,
+    table5_summary,
+)
+from .tables import (
+    benchmark_characteristics_table,
+    format_table,
+    hardware_characteristics_table,
+)
+
+__all__ = [
+    "CharacterizationRecord",
+    "DEFAULT_THETAS",
+    "DecoyCorrelation",
+    "EvaluationConfig",
+    "FIGURE13_BENCHMARKS",
+    "FIGURE14_BENCHMARKS",
+    "FIGURE15_BENCHMARKS",
+    "benchmark_characteristics_table",
+    "calibration_drift_study",
+    "dd_combination_sweep",
+    "decoy_correlation_study",
+    "decoy_quality_table",
+    "figure1_motivation_study",
+    "figure3_swap_idle_study",
+    "format_table",
+    "full_device_characterization",
+    "hardware_characteristics_table",
+    "idle_characterization_circuit",
+    "idle_qubit_fidelity",
+    "motivation_example_circuit",
+    "pulse_type_study",
+    "relative_dd_fidelity",
+    "run_machine_evaluation",
+    "run_policy_comparison",
+    "single_qubit_idling_study",
+    "table1_idle_fractions",
+    "table5_summary",
+]

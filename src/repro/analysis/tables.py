@@ -1,0 +1,102 @@
+"""Static tables: hardware characteristics (Table 3) and benchmark stats (Table 4).
+
+Plus small text-rendering helpers shared by the benchmark harness and the
+examples, so every experiment can print rows in the same format the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..hardware.backend import Backend
+from ..transpiler.transpile import transpile
+from ..workloads.suite import table4_suite
+
+__all__ = [
+    "hardware_characteristics_table",
+    "benchmark_characteristics_table",
+    "format_table",
+]
+
+
+def hardware_characteristics_table(
+    device_names: Sequence[str] = ("ibmq_guadalupe", "ibmq_paris", "ibmq_toronto"),
+    calibration_cycle: int = 0,
+) -> List[Dict[str, object]]:
+    """Table 3: per-machine average error characteristics from the calibration."""
+    rows = []
+    for name in device_names:
+        backend = Backend.from_name(name, cycle=calibration_cycle)
+        calibration = backend.calibration
+        rows.append(
+            {
+                "machine": name,
+                "num_qubits": backend.num_qubits,
+                "cnot_error_pct": 100.0 * calibration.average_cnot_error(),
+                "measurement_error_pct": 100.0 * calibration.average_measurement_error(),
+                "t1_us": calibration.average_t1_us(),
+                "t2_us": calibration.average_t2_us(),
+            }
+        )
+    return rows
+
+
+def benchmark_characteristics_table(
+    device_name: str = "ibmq_toronto",
+    calibration_cycle: int = 0,
+) -> List[Dict[str, object]]:
+    """Table 4: qubits, gate count, depth and average idle time per benchmark.
+
+    Gate counts and idle times are measured on *our* compiled circuits (the
+    paper's were produced by Qiskit on the hardware of the day), so absolute
+    values differ while the ordering — QFT deepest and most idle, BV shallow,
+    QAOA-B heavier than QAOA-A — is preserved.
+    """
+    backend = Backend.from_name(device_name, cycle=calibration_cycle)
+    rows = []
+    for spec in table4_suite():
+        compiled = transpile(spec.build(), backend)
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "description": spec.description,
+                "num_qubits": spec.num_qubits,
+                "total_gates": compiled.gate_count(),
+                "circuit_depth": compiled.depth(),
+                "avg_idle_time_us": compiled.average_idle_time_us(),
+                "num_swaps": compiled.num_swaps,
+            }
+        )
+    return rows
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    return "\n".join([header, separator, body])

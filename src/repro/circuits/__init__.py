@@ -1,0 +1,30 @@
+"""Circuit intermediate representation: gates, circuits, and dependency DAGs."""
+
+from .gates import (
+    BASIS_GATE_NAMES,
+    CLIFFORD_GATE_NAMES,
+    Gate,
+    GateDefinitionError,
+    closest_clifford,
+    gate_matrix,
+    is_clifford_name,
+    operator_norm_distance,
+)
+from .circuit import CircuitError, QuantumCircuit
+from .dag import CircuitDAG, DagNode, circuit_layers
+
+__all__ = [
+    "BASIS_GATE_NAMES",
+    "CLIFFORD_GATE_NAMES",
+    "CircuitDAG",
+    "CircuitError",
+    "DagNode",
+    "Gate",
+    "GateDefinitionError",
+    "QuantumCircuit",
+    "circuit_layers",
+    "closest_clifford",
+    "gate_matrix",
+    "is_clifford_name",
+    "operator_norm_distance",
+]

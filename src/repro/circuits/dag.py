@@ -1,0 +1,120 @@
+"""Dependency-graph utilities over :class:`~repro.circuits.circuit.QuantumCircuit`.
+
+The transpiler's scheduling pass and the Gate Sequence Table both need the
+data-dependency structure of a circuit: which gates can run concurrently
+(layers / moments) and which must be serialized.  This module provides a light
+DAG built on :mod:`networkx` plus ASAP layering helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["CircuitDAG", "DagNode", "circuit_layers"]
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """A node of the circuit DAG: a gate plus its position in the circuit."""
+
+    index: int
+    gate: Gate
+
+
+class CircuitDAG:
+    """Directed acyclic graph of gate dependencies.
+
+    Two gates are dependent when they share a qubit; edges point from the
+    earlier gate to the later gate.  Barriers create dependencies but are not
+    included as nodes themselves (they only constrain ordering).
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self._circuit = circuit
+        self._graph = nx.DiGraph()
+        self._build()
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        return self._circuit
+
+    def _build(self) -> None:
+        last_on_qubit: Dict[int, int] = {}
+        barrier_frontier: Dict[int, int] = {}
+        for index, gate in enumerate(self._circuit):
+            if gate.is_barrier:
+                for q in gate.qubits:
+                    if q in last_on_qubit:
+                        barrier_frontier[q] = last_on_qubit[q]
+                continue
+            node = DagNode(index=index, gate=gate)
+            self._graph.add_node(index, node=node)
+            for q in gate.qubits:
+                predecessor = last_on_qubit.get(q, barrier_frontier.get(q))
+                if predecessor is not None and predecessor != index:
+                    self._graph.add_edge(predecessor, index)
+                last_on_qubit[q] = index
+
+    # ------------------------------------------------------------------
+
+    def node(self, index: int) -> DagNode:
+        return self._graph.nodes[index]["node"]
+
+    def predecessors(self, index: int) -> List[DagNode]:
+        return [self.node(i) for i in self._graph.predecessors(index)]
+
+    def successors(self, index: int) -> List[DagNode]:
+        return [self.node(i) for i in self._graph.successors(index)]
+
+    def topological_nodes(self) -> List[DagNode]:
+        return [self.node(i) for i in nx.topological_sort(self._graph)]
+
+    def front_layer(self) -> List[DagNode]:
+        """Gates with no unfinished predecessors (used by SABRE routing)."""
+        return [
+            self.node(i)
+            for i in self._graph.nodes
+            if self._graph.in_degree(i) == 0
+        ]
+
+    def asap_levels(self) -> Dict[int, int]:
+        """ASAP level of every gate (level 0 = can start immediately)."""
+        levels: Dict[int, int] = {}
+        for index in nx.topological_sort(self._graph):
+            preds = list(self._graph.predecessors(index))
+            levels[index] = 0 if not preds else max(levels[p] for p in preds) + 1
+        return levels
+
+    def longest_path_length(self) -> int:
+        """Length of the critical dependency chain (equals circuit depth)."""
+        if self._graph.number_of_nodes() == 0:
+            return 0
+        return max(self.asap_levels().values()) + 1
+
+
+def circuit_layers(circuit: QuantumCircuit) -> List[List[Gate]]:
+    """Slice a circuit into layers of gates that may run concurrently.
+
+    Layer ``k`` contains every gate whose ASAP level is ``k``.  This is the
+    "Layer" column of the Gate Sequence Table in Figure 11 before physical
+    latencies are applied.
+    """
+    dag = CircuitDAG(circuit)
+    levels = dag.asap_levels()
+    if not levels:
+        return []
+    num_layers = max(levels.values()) + 1
+    layers: List[List[Gate]] = [[] for _ in range(num_layers)]
+    for index, level in sorted(levels.items()):
+        layers[level].append(circuit[index])
+    return layers

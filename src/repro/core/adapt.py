@@ -1,0 +1,154 @@
+"""The ADAPT framework: decoy-driven selection of the DD qubit subset.
+
+This is the paper's primary contribution (Section 4, Figure 7): given a
+compiled program, ADAPT
+
+1. builds a decoy circuit that preserves the program's CNOT structure but has
+   an efficiently computable ideal output,
+2. scores DD combinations by executing the decoy (on the noisy backend model)
+   with each candidate combination and measuring the decoy's fidelity,
+3. searches the combination space with a localized, linear-complexity
+   algorithm, and
+4. returns the selected combination, ready to be applied to the input program.
+
+The executor is injected so the same class drives both the simulated backends
+of this reproduction and, in principle, a real submission pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..dd.insertion import DDAssignment, DDPlan, materialize_dd_circuit, plan_dd
+from ..metrics.fidelity import fidelity
+from .decoy import DecoyCircuit, make_decoy
+from .gst import GateSequenceTable
+from .search import LocalizedSearch, SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.execution import NoisyExecutor
+    from ..transpiler.transpile import CompiledProgram
+
+__all__ = ["AdaptConfig", "AdaptResult", "Adapt"]
+
+
+@dataclass(frozen=True)
+class AdaptConfig:
+    """Tunable parameters of the ADAPT pass."""
+
+    dd_sequence: str = "xy4"
+    decoy_kind: str = "sdc"
+    group_size: int = 4
+    top_k_union: int = 2
+    decoy_shots: int = 2048
+    max_seed_qubits: int = 8
+    min_idle_window_ns: Optional[float] = None
+
+
+@dataclass
+class AdaptResult:
+    """Everything ADAPT produced for one program."""
+
+    assignment: DDAssignment
+    decoy: DecoyCircuit
+    search: SearchResult
+    program_qubits: tuple
+    config: AdaptConfig
+
+    @property
+    def bitstring(self) -> str:
+        return self.assignment.to_bitstring(self.program_qubits)
+
+    @property
+    def num_decoy_evaluations(self) -> int:
+        return self.search.num_evaluations
+
+
+class Adapt:
+    """Adaptive Dynamical Decoupling selection pass.
+
+    Args:
+        executor: a :class:`~repro.hardware.execution.NoisyExecutor` (or any
+            object with the same ``run`` signature) used to execute decoys.
+        config: search / decoy options.
+        seed: seed for the executor RNG used during decoy scoring.
+    """
+
+    def __init__(
+        self,
+        executor: "NoisyExecutor",
+        config: Optional[AdaptConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.executor = executor
+        self.config = config or AdaptConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def select(self, compiled: "CompiledProgram") -> AdaptResult:
+        """Pick the DD qubit subset for a compiled program."""
+        physical = compiled.physical_circuit
+        gst = compiled.gst
+        program_qubits = tuple(sorted(gst.active_qubits()))
+        output_qubits = compiled.output_qubits
+
+        decoy = make_decoy(
+            physical,
+            kind=self.config.decoy_kind,
+            **(
+                {"max_seed_qubits": self.config.max_seed_qubits}
+                if self.config.decoy_kind == "sdc"
+                else {}
+            ),
+        )
+        decoy_ideal = decoy.ideal_distribution(output_qubits)
+        decoy_gst = self.executor.backend.schedule(decoy.circuit)
+
+        def score(assignment: DDAssignment) -> float:
+            result = self.executor.run(
+                decoy.circuit,
+                dd_assignment=assignment,
+                dd_sequence=self.config.dd_sequence,
+                shots=self.config.decoy_shots,
+                output_qubits=output_qubits,
+                gst=decoy_gst,
+                rng=self._rng,
+            )
+            return fidelity(decoy_ideal, result.probabilities)
+
+        idle_time = {q: gst.total_idle_time(q) for q in program_qubits}
+        search = LocalizedSearch(
+            group_size=self.config.group_size,
+            top_k_union=self.config.top_k_union,
+        ).run(program_qubits, score, idle_time=idle_time)
+
+        return AdaptResult(
+            assignment=search.best,
+            decoy=decoy,
+            search=search,
+            program_qubits=program_qubits,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------
+
+    def plan(self, compiled: "CompiledProgram", result: Optional[AdaptResult] = None) -> DDPlan:
+        """Build the DD plan for the selected assignment."""
+        result = result or self.select(compiled)
+        return plan_dd(
+            compiled.gst,
+            result.assignment,
+            self.config.dd_sequence,
+            min_window_ns=self.config.min_idle_window_ns,
+        )
+
+    def apply(self, compiled: "CompiledProgram") -> QuantumCircuit:
+        """Return the executable with DD pulses inserted (Figure 7, step 4)."""
+        result = self.select(compiled)
+        dd_plan = self.plan(compiled, result)
+        return materialize_dd_circuit(compiled.gst, dd_plan)

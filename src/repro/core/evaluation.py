@@ -1,0 +1,178 @@
+"""Policy evaluation: run a benchmark under every DD policy and compare.
+
+This is the machinery behind Figures 13-15 and Table 5: for one compiled
+benchmark, each policy picks a DD assignment, the program is executed on the
+noisy backend model with that assignment, and the TVD fidelity against the
+program's noise-free output is recorded (absolute and relative to No-DD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..dd.insertion import DDAssignment
+from ..metrics.fidelity import fidelity, geometric_mean
+from ..simulators.statevector import StatevectorSimulator
+from .policies import Policy, PolicyDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.execution import NoisyExecutor
+    from ..transpiler.transpile import CompiledProgram
+
+__all__ = [
+    "PolicyOutcome",
+    "BenchmarkEvaluation",
+    "logical_ideal_distribution",
+    "compiled_ideal_distribution",
+    "evaluate_policies",
+    "summarize_relative_fidelity",
+]
+
+
+def logical_ideal_distribution(circuit: QuantumCircuit) -> Dict[str, float]:
+    """Noise-free output distribution of a logical circuit (statevector)."""
+    simulator = StatevectorSimulator()
+    probabilities = simulator.probabilities(circuit)
+    n = circuit.num_qubits
+    return {
+        format(index, f"0{n}b"): float(p)
+        for index, p in enumerate(probabilities)
+        if p > 1e-12
+    }
+
+
+def compiled_ideal_distribution(compiled: "CompiledProgram") -> Dict[str, float]:
+    """Ideal distribution of a compiled program, in logical bit order.
+
+    Equal to :func:`logical_ideal_distribution` of the source program when the
+    transpiler is correct; computed from the physical circuit so the
+    Runtime-Best oracle does not need the logical circuit at all.
+    """
+    compacted, used = compiled.physical_circuit.compact()
+    simulator = StatevectorSimulator()
+    probabilities = simulator.probabilities(compacted)
+    position = {qubit: index for index, qubit in enumerate(used)}
+    n = compacted.num_qubits
+    distribution: Dict[str, float] = {}
+    for index, p in enumerate(probabilities):
+        if p <= 1e-12:
+            continue
+        bits = format(index, f"0{n}b")
+        out = "".join(bits[position[q]] for q in compiled.output_qubits)
+        distribution[out] = distribution.get(out, 0.0) + float(p)
+    return distribution
+
+
+@dataclass
+class PolicyOutcome:
+    """Result of running one policy on one benchmark."""
+
+    policy: str
+    assignment: DDAssignment
+    fidelity: float
+    relative_fidelity: float
+    dd_pulse_count: int
+    num_evaluations: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """All policy outcomes for one benchmark on one backend."""
+
+    benchmark: str
+    backend: str
+    dd_sequence: str
+    baseline_fidelity: float
+    outcomes: Dict[str, PolicyOutcome] = field(default_factory=dict)
+
+    def relative(self, policy: str) -> float:
+        return self.outcomes[policy].relative_fidelity
+
+    def best_policy(self) -> str:
+        return max(self.outcomes.values(), key=lambda o: o.fidelity).policy
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "backend": self.backend,
+            "dd_sequence": self.dd_sequence,
+            "baseline_fidelity": self.baseline_fidelity,
+        }
+        for name, outcome in self.outcomes.items():
+            row[f"{name}_fidelity"] = outcome.fidelity
+            row[f"{name}_relative"] = outcome.relative_fidelity
+        return row
+
+
+def evaluate_policies(
+    compiled: "CompiledProgram",
+    policies: Sequence[Policy],
+    executor: "NoisyExecutor",
+    dd_sequence: str = "xy4",
+    shots: int = 4096,
+    ideal: Optional[Dict[str, float]] = None,
+    benchmark_name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BenchmarkEvaluation:
+    """Run every policy on a compiled benchmark and compare fidelities."""
+    ideal = ideal or compiled_ideal_distribution(compiled)
+    gst = compiled.gst
+    evaluation = BenchmarkEvaluation(
+        benchmark=benchmark_name or compiled.logical_circuit.name,
+        backend=executor.backend.name,
+        dd_sequence=dd_sequence,
+        baseline_fidelity=0.0,
+    )
+
+    decisions: List[PolicyDecision] = [policy.decide(compiled) for policy in policies]
+    baseline_fidelity: Optional[float] = None
+
+    for decision in decisions:
+        result = executor.run(
+            compiled.physical_circuit,
+            dd_assignment=decision.assignment,
+            dd_sequence=dd_sequence,
+            shots=shots,
+            output_qubits=compiled.output_qubits,
+            gst=gst,
+            rng=rng,
+        )
+        value = fidelity(ideal, result.probabilities)
+        if decision.policy == "no_dd":
+            baseline_fidelity = value
+        evaluation.outcomes[decision.policy] = PolicyOutcome(
+            policy=decision.policy,
+            assignment=decision.assignment,
+            fidelity=value,
+            relative_fidelity=0.0,
+            dd_pulse_count=result.dd_pulse_count,
+            num_evaluations=decision.num_evaluations,
+            metadata=dict(decision.metadata),
+        )
+
+    if baseline_fidelity is None:
+        baseline_fidelity = min(o.fidelity for o in evaluation.outcomes.values())
+    baseline_fidelity = max(baseline_fidelity, 1e-6)
+    evaluation.baseline_fidelity = baseline_fidelity
+    for outcome in evaluation.outcomes.values():
+        outcome.relative_fidelity = outcome.fidelity / baseline_fidelity
+    return evaluation
+
+
+def summarize_relative_fidelity(
+    evaluations: Sequence[BenchmarkEvaluation], policy: str
+) -> Dict[str, float]:
+    """Min / geometric-mean / max of a policy's relative fidelity (Table 5)."""
+    values = [e.relative(policy) for e in evaluations if policy in e.outcomes]
+    if not values:
+        raise ValueError(f"no evaluations contain policy '{policy}'")
+    return {
+        "min": float(min(values)),
+        "gmean": geometric_mean(values),
+        "max": float(max(values)),
+    }

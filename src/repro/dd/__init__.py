@@ -1,0 +1,28 @@
+"""Dynamical decoupling: pulse sequences and idle-window insertion."""
+
+from .sequences import (
+    CPMGSequence,
+    DDPulse,
+    DDPulseTrain,
+    DDSequence,
+    IBMQDDSequence,
+    SEQUENCES,
+    XY4Sequence,
+    get_sequence,
+)
+from .insertion import DDAssignment, DDPlan, materialize_dd_circuit, plan_dd
+
+__all__ = [
+    "CPMGSequence",
+    "DDAssignment",
+    "DDPlan",
+    "DDPulse",
+    "DDPulseTrain",
+    "DDSequence",
+    "IBMQDDSequence",
+    "SEQUENCES",
+    "XY4Sequence",
+    "get_sequence",
+    "materialize_dd_circuit",
+    "plan_dd",
+]

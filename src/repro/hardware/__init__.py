@@ -1,0 +1,30 @@
+"""Hardware models: topologies, device specs, calibrations, backends, execution."""
+
+from .devices import DEVICES, DeviceSpec, get_device, list_devices, synthetic_device
+from .calibration import (
+    Calibration,
+    CrosstalkEntry,
+    LinkCalibration,
+    QubitCalibration,
+    generate_calibration,
+)
+from .backend import Backend
+from .execution import ExecutionResult, NoisyExecutor
+from . import topologies
+
+__all__ = [
+    "Backend",
+    "Calibration",
+    "CrosstalkEntry",
+    "DEVICES",
+    "DeviceSpec",
+    "ExecutionResult",
+    "LinkCalibration",
+    "NoisyExecutor",
+    "QubitCalibration",
+    "generate_calibration",
+    "get_device",
+    "list_devices",
+    "synthetic_device",
+    "topologies",
+]

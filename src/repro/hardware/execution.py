@@ -1,0 +1,412 @@
+"""Noisy execution of scheduled circuits with optional DD plans.
+
+The :class:`NoisyExecutor` is the reproduction's stand-in for submitting a job
+to an IBMQ machine.  It combines:
+
+* the Gate Sequence Table (timing / idle windows) of the compiled circuit,
+* the gate-level noise model (depolarizing gate errors, readout confusion),
+* the idle-window noise model (T1/T2, crosstalk-amplified quasi-static
+  dephasing, coherent ZZ phase, DD refocusing and DD pulse cost),
+
+and produces measurement counts / output probability distributions.
+
+Two engines are available:
+
+* ``"density_matrix"`` — exact mixed-state evolution; the default for up to
+  ``dm_qubit_limit`` active qubits.
+* ``"trajectories"`` — Monte-Carlo unravelling on statevectors: every
+  trajectory samples one realisation of each stochastic noise element and the
+  resulting *exact per-trajectory distributions* are averaged.  Scales to the
+  larger routed circuits (12+ active qubits) where a density matrix would not.
+
+Both engines simulate only the *active* qubits (those touched by a gate or a
+measurement), so mapping a 7-qubit program onto a 27-qubit device does not
+cost 2^27 amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate, gate_matrix, rz_matrix, rx_matrix
+from ..core.gst import GateSequenceTable
+from ..dd.insertion import DDAssignment, DDPlan, plan_dd
+from ..noise.model import NoiseOp
+from ..simulators.density_matrix import DensityMatrixSimulator
+from ..simulators.statevector import SimulationError
+from .backend import Backend
+
+__all__ = ["ExecutionResult", "NoisyExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one noisy execution."""
+
+    counts: Dict[str, int]
+    probabilities: Dict[str, float]
+    shots: int
+    output_qubits: Tuple[int, ...]
+    engine: str
+    total_duration_ns: float
+    dd_pulse_count: int
+    num_active_qubits: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def probability_of(self, bitstring: str) -> float:
+        return self.probabilities.get(bitstring, 0.0)
+
+    def most_probable(self) -> str:
+        return max(self.probabilities, key=self.probabilities.get)
+
+
+class NoisyExecutor:
+    """Simulates scheduled circuits under the backend's noise model."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        seed: Optional[int] = None,
+        dm_qubit_limit: int = 10,
+        trajectories: int = 120,
+    ) -> None:
+        self.backend = backend
+        self.dm_qubit_limit = int(dm_qubit_limit)
+        self.trajectories = int(trajectories)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        dd_assignment: Optional[DDAssignment] = None,
+        dd_sequence: str = "xy4",
+        shots: int = 4096,
+        output_qubits: Optional[Sequence[int]] = None,
+        gst: Optional[GateSequenceTable] = None,
+        dd_plan: Optional[DDPlan] = None,
+        engine: str = "auto",
+        include_idle_noise: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ExecutionResult:
+        """Execute a circuit under noise.
+
+        Args:
+            circuit: compiled circuit on physical qubits (measurements mark
+                the read-out qubits).
+            dd_assignment: qubits whose idle windows receive DD; ``None``
+                means no DD.  Ignored when an explicit ``dd_plan`` is given.
+            dd_sequence: DD protocol name used to build the plan.
+            output_qubits: physical qubits defining the output bit order
+                (defaults to the measured qubits in ascending order).
+            engine: ``"auto"``, ``"density_matrix"`` or ``"trajectories"``.
+            include_idle_noise: disable to isolate gate/readout errors.
+        """
+        rng = rng or self._rng
+        gst = gst or self.backend.schedule(circuit)
+        if dd_plan is None:
+            assignment = dd_assignment or DDAssignment.none()
+            dd_plan = plan_dd(gst, assignment, dd_sequence)
+
+        active, index_of = self._active_qubits(circuit, gst)
+        outputs = self._resolve_outputs(circuit, output_qubits, active)
+        events = self._build_events(gst, dd_plan, include_idle_noise)
+
+        engine_name = self._select_engine(engine, len(active))
+        if engine_name == "density_matrix":
+            probs = self._run_density_matrix(events, len(active), index_of)
+        else:
+            probs = self._run_trajectories(events, len(active), index_of, rng)
+
+        probs = self._marginalize(probs, active, outputs)
+        probs = self.backend.gate_noise.apply_readout_error(probs, outputs)
+        counts = self._sample(probs, shots, len(outputs), rng)
+        prob_dict = {
+            format(i, f"0{len(outputs)}b"): float(p)
+            for i, p in enumerate(probs)
+            if p > 1e-12
+        }
+        return ExecutionResult(
+            counts=counts,
+            probabilities=prob_dict,
+            shots=shots,
+            output_qubits=tuple(outputs),
+            engine=engine_name,
+            total_duration_ns=gst.total_duration,
+            dd_pulse_count=dd_plan.total_pulses,
+            num_active_qubits=len(active),
+            metadata={
+                "device": self.backend.name,
+                "calibration_cycle": self.backend.calibration.cycle,
+                "dd_sequence": dd_plan.sequence_name,
+                "protected_windows": dd_plan.num_protected_windows,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Event construction
+    # ------------------------------------------------------------------
+
+    def _active_qubits(
+        self, circuit: QuantumCircuit, gst: GateSequenceTable
+    ) -> Tuple[List[int], Dict[int, int]]:
+        active = set(gst.active_qubits())
+        for gate in circuit:
+            if gate.is_measurement:
+                active.update(gate.qubits)
+        ordered = sorted(active)
+        return ordered, {q: i for i, q in enumerate(ordered)}
+
+    @staticmethod
+    def _resolve_outputs(
+        circuit: QuantumCircuit,
+        output_qubits: Optional[Sequence[int]],
+        active: List[int],
+    ) -> List[int]:
+        if output_qubits is not None:
+            outputs = [int(q) for q in output_qubits]
+        else:
+            measured = sorted({g.qubits[0] for g in circuit if g.is_measurement})
+            outputs = measured or list(active)
+        missing = [q for q in outputs if q not in active]
+        if missing:
+            raise SimulationError(f"output qubits {missing} never appear in the circuit")
+        return outputs
+
+    def _build_events(
+        self,
+        gst: GateSequenceTable,
+        dd_plan: DDPlan,
+        include_idle_noise: bool,
+    ) -> List[Tuple[float, int, str, object]]:
+        """Time-ordered events: ('gate', Gate) and ('noise', List[NoiseOp])."""
+        events: List[Tuple[float, int, str, object]] = []
+        noise_model = self.backend.gate_noise
+        idle_model = self.backend.idle_noise
+
+        for seq, scheduled in enumerate(gst.scheduled_gates):
+            gate = scheduled.gate
+            if gate.is_measurement or gate.is_barrier or gate.is_delay:
+                continue
+            events.append((scheduled.start, 1, "gate", gate))
+            for op in noise_model.gate_noise(gate):
+                events.append((scheduled.start, 2, "noise", op))
+
+        if include_idle_noise:
+            for window in gst.idle_windows():
+                train = dd_plan.train_for(window)
+                concurrent = gst.concurrent_cnots(
+                    window.start, window.end, exclude_qubit=window.qubit
+                )
+                effect = idle_model.window_effect(
+                    window.qubit, window.duration, concurrent, train
+                )
+                for op in effect.noise_ops():
+                    events.append((window.end, 0, "noise", op))
+
+        events.sort(key=lambda item: (item[0], item[1]))
+        return events
+
+    @staticmethod
+    def _select_engine(engine: str, num_active: int) -> str:
+        if engine not in ("auto", "density_matrix", "trajectories"):
+            raise ValueError(f"unknown engine '{engine}'")
+        if engine != "auto":
+            return engine
+        return "density_matrix" if num_active <= 10 else "trajectories"
+
+    # ------------------------------------------------------------------
+    # Density matrix engine
+    # ------------------------------------------------------------------
+
+    def _run_density_matrix(
+        self,
+        events: List[Tuple[float, int, str, object]],
+        num_active: int,
+        index_of: Dict[int, int],
+    ) -> np.ndarray:
+        sim = DensityMatrixSimulator(num_active, max_qubits=max(12, num_active))
+        for _, _, kind, payload in events:
+            if kind == "gate":
+                gate: Gate = payload  # type: ignore[assignment]
+                qubits = [index_of[q] for q in gate.qubits]
+                sim.apply_unitary(gate_matrix(gate.name, gate.params), qubits)
+            else:
+                op: NoiseOp = payload  # type: ignore[assignment]
+                qubits = [index_of[q] for q in op.qubits]
+                if op.kind == "kraus":
+                    sim.apply_kraus(op.payload, qubits)
+                elif op.kind == "rz":
+                    sim.apply_unitary(rz_matrix(float(op.payload)), qubits)
+                elif op.kind == "rx":
+                    sim.apply_unitary(rx_matrix(float(op.payload)), qubits)
+                elif op.kind == "gaussian_phase":
+                    sigma = float(op.payload)
+                    lam = 1.0 - math.exp(-(sigma ** 2))
+                    from ..simulators import channels
+
+                    sim.apply_kraus(channels.phase_damping(min(1.0, lam)), qubits)
+        return sim.probabilities()
+
+    # ------------------------------------------------------------------
+    # Trajectory engine
+    # ------------------------------------------------------------------
+
+    def _run_trajectories(
+        self,
+        events: List[Tuple[float, int, str, object]],
+        num_active: int,
+        index_of: Dict[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        total = np.zeros(2 ** num_active, dtype=float)
+        for _ in range(self.trajectories):
+            state = np.zeros((2,) * num_active, dtype=complex)
+            state[(0,) * num_active] = 1.0
+            for _, _, kind, payload in events:
+                if kind == "gate":
+                    gate: Gate = payload  # type: ignore[assignment]
+                    qubits = [index_of[q] for q in gate.qubits]
+                    state = self._apply_unitary_sv(
+                        state, gate_matrix(gate.name, gate.params), qubits, num_active
+                    )
+                else:
+                    op: NoiseOp = payload  # type: ignore[assignment]
+                    qubits = [index_of[q] for q in op.qubits]
+                    state = self._apply_noise_sv(state, op, qubits, num_active, rng)
+            probs = np.abs(state.reshape(-1)) ** 2
+            total += probs / probs.sum()
+        total /= self.trajectories
+        return total
+
+    @staticmethod
+    def _apply_unitary_sv(
+        state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], n: int
+    ) -> np.ndarray:
+        k = len(qubits)
+        tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+        state = np.tensordot(tensor, state, axes=(list(range(k, 2 * k)), list(qubits)))
+        remaining = [q for q in range(n) if q not in qubits]
+        current = {q: i for i, q in enumerate(list(qubits) + remaining)}
+        perm = [current[q] for q in range(n)]
+        return np.transpose(state, perm)
+
+    def _apply_noise_sv(
+        self,
+        state: np.ndarray,
+        op: NoiseOp,
+        qubits: Sequence[int],
+        n: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if op.kind == "rz":
+            return self._apply_unitary_sv(state, rz_matrix(float(op.payload)), qubits, n)
+        if op.kind == "rx":
+            return self._apply_unitary_sv(state, rx_matrix(float(op.payload)), qubits, n)
+        if op.kind == "gaussian_phase":
+            angle = rng.normal(0.0, float(op.payload))
+            return self._apply_unitary_sv(state, rz_matrix(angle), qubits, n)
+        kraus = list(op.payload)  # type: ignore[arg-type]
+        # Fast path for mixed-unitary channels (depolarizing, phase flip, ...):
+        # branch probabilities are state independent, so sample the branch
+        # first and apply only that single unitary (skipping identity terms).
+        mixed = self._mixed_unitary_form(kraus)
+        if mixed is not None:
+            probabilities, unitaries = mixed
+            choice = rng.choice(len(unitaries), p=probabilities)
+            unitary = unitaries[choice]
+            if unitary is None:  # identity branch
+                return state
+            return self._apply_unitary_sv(state, unitary, qubits, n)
+        # Generic stochastic Kraus unravelling: pick a branch with probability
+        # ||K_k |psi>||^2 and renormalise.
+        branches = []
+        weights = []
+        for operator in kraus:
+            candidate = self._apply_unitary_sv(state, operator, qubits, n)
+            weight = float(np.real(np.vdot(candidate, candidate)))
+            branches.append(candidate)
+            weights.append(weight)
+        weights_arr = np.array(weights)
+        total = weights_arr.sum()
+        if total <= 0:
+            return state
+        choice = rng.choice(len(branches), p=weights_arr / total)
+        selected = branches[choice]
+        norm = math.sqrt(weights_arr[choice])
+        return selected / norm if norm > 0 else state
+
+    @staticmethod
+    def _mixed_unitary_form(
+        kraus: List[np.ndarray],
+    ) -> Optional[Tuple[np.ndarray, List[Optional[np.ndarray]]]]:
+        """Decompose a channel into (probabilities, unitaries) when possible.
+
+        A Kraus operator of the form ``K = sqrt(p) U`` with ``U`` unitary
+        satisfies ``K^dagger K = p I``; channels whose operators all have this
+        form (depolarizing, bit/phase flip) can be sampled without touching
+        the statevector.  Identity branches are returned as ``None`` so they
+        can be skipped entirely.
+        """
+        probabilities = []
+        unitaries: List[Optional[np.ndarray]] = []
+        valid = True
+        for operator in kraus:
+            operator = np.asarray(operator, dtype=complex)
+            gram = operator.conj().T @ operator
+            weight = float(np.real(gram[0, 0]))
+            if weight < 1e-14:
+                continue
+            if not np.allclose(gram, weight * np.eye(operator.shape[0]), atol=1e-10):
+                valid = False
+                break
+            unitary = operator / math.sqrt(weight)
+            probabilities.append(weight)
+            if np.allclose(unitary, np.eye(unitary.shape[0]), atol=1e-10):
+                unitaries.append(None)
+            else:
+                unitaries.append(unitary)
+        if valid and probabilities:
+            probs = np.array(probabilities)
+            return probs / probs.sum(), unitaries
+        return None
+
+    # ------------------------------------------------------------------
+    # Post-processing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _marginalize(
+        probs: np.ndarray, active: List[int], outputs: List[int]
+    ) -> np.ndarray:
+        n = len(active)
+        index_of = {q: i for i, q in enumerate(active)}
+        tensor = probs.reshape((2,) * n)
+        keep = [index_of[q] for q in outputs]
+        drop = [axis for axis in range(n) if axis not in keep]
+        if drop:
+            tensor = tensor.sum(axis=tuple(drop))
+        # After summation the remaining axes are the kept axes in ascending
+        # order of their original position; permute them into output order.
+        kept_sorted = sorted(keep)
+        perm = [kept_sorted.index(axis) for axis in keep]
+        tensor = np.transpose(tensor, perm)
+        flat = tensor.reshape(-1)
+        return flat / flat.sum()
+
+    @staticmethod
+    def _sample(
+        probs: np.ndarray, shots: int, num_bits: int, rng: np.random.Generator
+    ) -> Dict[str, int]:
+        samples = rng.multinomial(shots, probs / probs.sum())
+        return {
+            format(idx, f"0{num_bits}b"): int(count)
+            for idx, count in enumerate(samples)
+            if count > 0
+        }

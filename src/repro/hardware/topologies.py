@@ -1,0 +1,140 @@
+"""Coupling maps of the IBMQ devices used in the ADAPT evaluation.
+
+The paper evaluates on IBMQ-Guadalupe (16 qubits), IBMQ-Paris and IBMQ-Toronto
+(27 qubits, Falcon heavy-hex lattice), and characterises on IBMQ-Rome,
+IBMQ-London and IBMQ-Casablanca.  The edge lists below are the public coupling
+maps of those devices.  Two synthetic topologies (``line`` and
+``all_to_all``) support the Figure 3(b) experiment, which compares idle time
+with and without SWAP-induced serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "COUPLING_MAPS",
+    "all_to_all",
+    "line",
+    "coupling_graph",
+    "device_edges",
+    "device_num_qubits",
+    "distance_matrix",
+    "neighbors",
+    "qubit_link_combinations",
+]
+
+Edge = Tuple[int, int]
+
+#: Heavy-hex coupling of the 27-qubit Falcon devices (Paris, Toronto, Montreal).
+_FALCON_27: List[Edge] = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+#: Heavy-hex coupling of the 16-qubit Falcon device (Guadalupe).
+_FALCON_16: List[Edge] = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14),
+]
+
+#: 5-qubit line (Rome).
+_ROME_5: List[Edge] = [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+#: 5-qubit T shape (London).
+_LONDON_5: List[Edge] = [(0, 1), (1, 2), (1, 3), (3, 4)]
+
+#: 7-qubit H shape (Casablanca).
+_CASABLANCA_7: List[Edge] = [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)]
+
+COUPLING_MAPS: Dict[str, List[Edge]] = {
+    "ibmq_guadalupe": list(_FALCON_16),
+    "ibmq_paris": list(_FALCON_27),
+    "ibmq_toronto": list(_FALCON_27),
+    "ibmq_rome": list(_ROME_5),
+    "ibmq_london": list(_LONDON_5),
+    "ibmq_casablanca": list(_CASABLANCA_7),
+}
+
+_NUM_QUBITS: Dict[str, int] = {
+    "ibmq_guadalupe": 16,
+    "ibmq_paris": 27,
+    "ibmq_toronto": 27,
+    "ibmq_rome": 5,
+    "ibmq_london": 5,
+    "ibmq_casablanca": 7,
+}
+
+
+def line(num_qubits: int) -> List[Edge]:
+    """Linear nearest-neighbour coupling."""
+    return [(i, i + 1) for i in range(num_qubits - 1)]
+
+
+def all_to_all(num_qubits: int) -> List[Edge]:
+    """Fully connected coupling (no SWAPs ever needed)."""
+    return [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+
+
+def device_edges(name: str) -> List[Edge]:
+    """Edge list for a named device."""
+    try:
+        return list(COUPLING_MAPS[name])
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown device '{name}'; known devices: {sorted(COUPLING_MAPS)}"
+        ) from exc
+
+
+def device_num_qubits(name: str) -> int:
+    return _NUM_QUBITS[name]
+
+
+def coupling_graph(edges: Sequence[Edge], num_qubits: int) -> nx.Graph:
+    """Undirected coupling graph with all qubits present as nodes."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_qubits))
+    graph.add_edges_from(edges)
+    return graph
+
+
+def neighbors(edges: Sequence[Edge], qubit: int) -> FrozenSet[int]:
+    """Physical neighbours of a qubit under a coupling map."""
+    adjacent = set()
+    for a, b in edges:
+        if a == qubit:
+            adjacent.add(b)
+        elif b == qubit:
+            adjacent.add(a)
+    return frozenset(adjacent)
+
+
+def distance_matrix(edges: Sequence[Edge], num_qubits: int) -> Dict[Tuple[int, int], int]:
+    """All-pairs shortest-path distances on the coupling graph."""
+    graph = coupling_graph(edges, num_qubits)
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    return {
+        (a, b): lengths[a][b]
+        for a in range(num_qubits)
+        for b in range(num_qubits)
+        if b in lengths[a]
+    }
+
+
+def qubit_link_combinations(edges: Sequence[Edge], num_qubits: int) -> List[Tuple[int, Edge]]:
+    """All (idle qubit, CNOT link) pairs where the qubit is not on the link.
+
+    The paper characterises every such combination: 224 on IBMQ-Guadalupe and
+    700 on IBMQ-Toronto (Section 3.2 / 3.3).
+    """
+    combos = []
+    for qubit in range(num_qubits):
+        for edge in edges:
+            if qubit not in edge:
+                combos.append((qubit, (edge[0], edge[1])))
+    return combos

@@ -1,0 +1,53 @@
+"""Rank correlation between decoy and input-circuit fidelity trends.
+
+The paper validates decoy circuits with Spearman's rank correlation
+coefficient between the fidelity of the actual circuit and the fidelity of its
+decoy across all DD combinations (Figure 9, Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["spearman_correlation", "pearson_correlation", "rank_agreement"]
+
+
+def spearman_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman's rho between two equally long sequences."""
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    if len(a) < 3:
+        raise ValueError("need at least three points for a rank correlation")
+    rho, _ = stats.spearmanr(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+    if np.isnan(rho):
+        return 0.0
+    return float(rho)
+
+
+def pearson_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson's r between two equally long sequences."""
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    if len(a) < 3:
+        raise ValueError("need at least three points for a correlation")
+    r, _ = stats.pearsonr(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+    if np.isnan(r):
+        return 0.0
+    return float(r)
+
+
+def rank_agreement(a: Sequence[float], b: Sequence[float], top_k: int = 1) -> float:
+    """Fraction of the top-k entries of ``a`` that are also top-k in ``b``.
+
+    A coarse "did the decoy pick a good combination" score used in ablations.
+    """
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    if not 1 <= top_k <= len(a):
+        raise ValueError("top_k must be between 1 and the sequence length")
+    top_a = set(np.argsort(a)[-top_k:])
+    top_b = set(np.argsort(b)[-top_k:])
+    return len(top_a & top_b) / top_k

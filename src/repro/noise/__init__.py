@@ -1,0 +1,6 @@
+"""Noise modelling: gate errors, readout errors and idle-window decoherence."""
+
+from .model import GateNoiseModel, NoiseOp
+from .idling import IdleNoiseModel, IdleWindowEffect
+
+__all__ = ["GateNoiseModel", "IdleNoiseModel", "IdleWindowEffect", "NoiseOp"]

@@ -1,0 +1,18 @@
+"""Simulation engines: statevector, density matrix, stabilizer, extended stabilizer."""
+
+from .statevector import SimulationError, StatevectorSimulator
+from .density_matrix import DensityMatrixSimulator
+from .stabilizer import CliffordTableau, StabilizerSimulator
+from .extended_stabilizer import ExtendedStabilizerSimulator, SimulationReport
+from . import channels
+
+__all__ = [
+    "CliffordTableau",
+    "DensityMatrixSimulator",
+    "ExtendedStabilizerSimulator",
+    "SimulationError",
+    "SimulationReport",
+    "StabilizerSimulator",
+    "StatevectorSimulator",
+    "channels",
+]

@@ -1,0 +1,139 @@
+"""Extended-stabilizer style simulator for Seeded Decoy Circuits.
+
+The paper simulates Seeded Decoy Circuits (SDCs) — mostly-Clifford circuits
+with a small number of non-Clifford seed gates — with Qiskit's extended
+stabilizer simulator.  This module provides the equivalent capability for the
+reproduction:
+
+* **Clifford-only circuits** are routed to the exact
+  :class:`~repro.simulators.stabilizer.StabilizerSimulator` (scales to
+  hundreds of qubits).
+* **Few non-Clifford gates, small register** (the regime every SDC in the
+  evaluation falls into — at most ~16 qubits and a single seed layer) are
+  simulated exactly with the dense statevector engine.
+* **Few non-Clifford gates, large register** fall back to a
+  *dominant-branch* approximation: each non-Clifford single-qubit gate is
+  replaced by its closest Clifford (operator-norm distance, Equation 1) and
+  the result is simulated on the stabilizer engine.  This keeps 100-qubit SDC
+  simulation tractable, trading exactness of the seed phases for scalability;
+  the substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate, closest_clifford
+from .stabilizer import StabilizerSimulator
+from .statevector import SimulationError, StatevectorSimulator
+
+__all__ = ["ExtendedStabilizerSimulator", "SimulationReport"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Describes which engine handled a circuit and at what cost."""
+
+    engine: str
+    num_qubits: int
+    num_gates: int
+    num_non_clifford: int
+    exact: bool
+
+
+class ExtendedStabilizerSimulator:
+    """Hybrid Clifford / dense simulator for decoy circuits."""
+
+    def __init__(
+        self,
+        dense_qubit_limit: int = 16,
+        non_clifford_limit: int = 64,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.dense_qubit_limit = int(dense_qubit_limit)
+        self.non_clifford_limit = int(non_clifford_limit)
+        self._stabilizer = StabilizerSimulator(seed=seed)
+        self._statevector = StatevectorSimulator(max_qubits=dense_qubit_limit)
+        self._rng = np.random.default_rng(seed)
+        self.last_report: Optional[SimulationReport] = None
+
+    # ------------------------------------------------------------------
+
+    def probabilities(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Exact (or dominant-branch) output distribution of a decoy circuit."""
+        non_clifford = self._count_non_clifford(circuit)
+        n = circuit.num_qubits
+        if non_clifford == 0:
+            self.last_report = self._report("stabilizer", circuit, non_clifford, exact=True)
+            return self._stabilizer.probabilities(circuit)
+        if non_clifford > self.non_clifford_limit:
+            raise SimulationError(
+                f"circuit has {non_clifford} non-Clifford gates, beyond the"
+                f" extended-stabilizer limit of {self.non_clifford_limit}"
+            )
+        if n <= self.dense_qubit_limit:
+            self.last_report = self._report("statevector", circuit, non_clifford, exact=True)
+            probs = self._statevector.probabilities(circuit)
+            return {
+                format(idx, f"0{n}b"): float(p)
+                for idx, p in enumerate(probs)
+                if p > 1e-12
+            }
+        # Dominant-branch approximation for large seeded decoys.
+        projected = self._project_to_clifford(circuit)
+        self.last_report = self._report(
+            "stabilizer-dominant-branch", circuit, non_clifford, exact=False
+        )
+        return self._stabilizer.probabilities(projected)
+
+    def counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample shots from the decoy's ideal distribution."""
+        rng = rng or self._rng
+        probs = self.probabilities(circuit)
+        keys = sorted(probs)
+        weights = np.array([probs[k] for k in keys], dtype=float)
+        weights = weights / weights.sum()
+        samples = rng.multinomial(shots, weights)
+        return {key: int(count) for key, count in zip(keys, samples) if count > 0}
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _count_non_clifford(circuit: QuantumCircuit) -> int:
+        return sum(
+            1
+            for gate in circuit
+            if gate.is_unitary and not gate.is_clifford
+        )
+
+    @staticmethod
+    def _project_to_clifford(circuit: QuantumCircuit) -> QuantumCircuit:
+        def project(gate: Gate):
+            if not gate.is_unitary or gate.is_clifford or gate.num_qubits != 1:
+                yield gate
+                return
+            replacement = closest_clifford(gate.name, gate.params)
+            yield Gate(name=replacement, qubits=gate.qubits, label=gate.label)
+
+        return circuit.map_gates(project)
+
+    @staticmethod
+    def _report(
+        engine: str, circuit: QuantumCircuit, non_clifford: int, exact: bool
+    ) -> SimulationReport:
+        return SimulationReport(
+            engine=engine,
+            num_qubits=circuit.num_qubits,
+            num_gates=circuit.num_gates,
+            num_non_clifford=non_clifford,
+            exact=exact,
+        )

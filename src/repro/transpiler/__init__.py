@@ -1,0 +1,23 @@
+"""Transpiler: basis decomposition, noise-adaptive layout, SABRE routing, cleanup."""
+
+from .decompose import decompose_to_basis, single_qubit_basis_gates, zyz_angles
+from .layout import Layout, noise_adaptive_layout, trivial_layout
+from .optimization import cancel_redundant_gates, merge_rotations, optimize_circuit
+from .routing import RoutedCircuit, sabre_route
+from .transpile import CompiledProgram, transpile
+
+__all__ = [
+    "CompiledProgram",
+    "Layout",
+    "RoutedCircuit",
+    "cancel_redundant_gates",
+    "decompose_to_basis",
+    "merge_rotations",
+    "noise_adaptive_layout",
+    "optimize_circuit",
+    "sabre_route",
+    "single_qubit_basis_gates",
+    "transpile",
+    "trivial_layout",
+    "zyz_angles",
+]

@@ -1,0 +1,160 @@
+"""Noise-adaptive initial layout.
+
+The paper compiles with Qiskit's "noise adaptive" mapping: program qubits are
+placed on a connected region of physical qubits chosen for low CNOT and
+readout error, with heavily-interacting program qubits placed on adjacent
+physical qubits whenever possible.  This pass implements the same idea with a
+deterministic greedy algorithm:
+
+1. score every physical edge by its calibrated CNOT error;
+2. grow a connected region of ``n`` physical qubits starting from the best
+   edge, always adding the frontier qubit whose links into the region are the
+   most reliable;
+3. place program qubits into the region in decreasing order of interaction
+   weight, preferring physical qubits adjacent to already-placed partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.backend import Backend
+
+__all__ = ["Layout", "noise_adaptive_layout", "trivial_layout"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Mapping from program (logical) qubits to physical qubits."""
+
+    logical_to_physical: Tuple[int, ...]
+
+    @property
+    def num_logical(self) -> int:
+        return len(self.logical_to_physical)
+
+    def physical(self, logical: int) -> int:
+        return self.logical_to_physical[logical]
+
+    def as_dict(self) -> Dict[int, int]:
+        return {l: p for l, p in enumerate(self.logical_to_physical)}
+
+    def physical_qubits(self) -> Tuple[int, ...]:
+        return tuple(self.logical_to_physical)
+
+
+def trivial_layout(num_logical: int) -> Layout:
+    """Identity layout: logical qubit i on physical qubit i."""
+    return Layout(tuple(range(num_logical)))
+
+
+def interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """Weighted graph of two-qubit interactions in a program."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    for gate in circuit:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            if graph.has_edge(a, b):
+                graph[a][b]["weight"] += 1
+            else:
+                graph.add_edge(a, b, weight=1)
+    return graph
+
+
+def noise_adaptive_layout(circuit: QuantumCircuit, backend: Backend) -> Layout:
+    """Choose physical qubits for a program on a backend."""
+    n_logical = circuit.num_qubits
+    if n_logical > backend.num_qubits:
+        raise ValueError(
+            f"program needs {n_logical} qubits but {backend.name} has only"
+            f" {backend.num_qubits}"
+        )
+    region = _select_region(backend, n_logical)
+    return _place_program(circuit, backend, region)
+
+
+def _edge_error(backend: Backend, a: int, b: int) -> float:
+    try:
+        return backend.calibration.cnot_error(a, b)
+    except KeyError:
+        return 1.0
+
+
+def _readout_error(backend: Backend, qubit: int) -> float:
+    cal = backend.calibration.qubit(qubit)
+    return (cal.readout_p01 + cal.readout_p10) / 2.0
+
+
+def _select_region(backend: Backend, size: int) -> List[int]:
+    """Grow a connected low-error region of ``size`` physical qubits."""
+    edges = list(backend.edges)
+    if size == 1:
+        best = min(range(backend.num_qubits), key=lambda q: _readout_error(backend, q))
+        return [best]
+    if not edges:
+        return list(range(size))
+    seed_edge = min(edges, key=lambda e: _edge_error(backend, *e))
+    region = [seed_edge[0], seed_edge[1]]
+    graph = backend.coupling_graph()
+    while len(region) < size:
+        frontier = set()
+        for q in region:
+            frontier.update(set(graph.neighbors(q)) - set(region))
+        if not frontier:
+            # Disconnected device or exhausted component: add the best leftover.
+            leftovers = [q for q in range(backend.num_qubits) if q not in region]
+            frontier = set(leftovers[: max(1, len(leftovers))])
+        def cost(candidate: int) -> float:
+            link_errors = [
+                _edge_error(backend, candidate, q)
+                for q in region
+                if graph.has_edge(candidate, q)
+            ]
+            link_cost = min(link_errors) if link_errors else 0.5
+            return link_cost + 0.1 * _readout_error(backend, candidate)
+        region.append(min(frontier, key=cost))
+    return region
+
+
+def _place_program(circuit: QuantumCircuit, backend: Backend, region: List[int]) -> Layout:
+    """Assign logical qubits to the selected physical region."""
+    program_graph = interaction_graph(circuit)
+    device_graph = backend.coupling_graph().subgraph(region)
+    order = sorted(
+        range(circuit.num_qubits),
+        key=lambda q: -sum(d["weight"] for _, _, d in program_graph.edges(q, data=True)),
+    )
+    assignment: Dict[int, int] = {}
+    used: set = set()
+    for logical in order:
+        placed_partners = [
+            assignment[p] for p in program_graph.neighbors(logical) if p in assignment
+        ]
+        candidates = [p for p in region if p not in used]
+        if not candidates:
+            raise ValueError("region smaller than the program")
+        def score(physical: int) -> Tuple[int, float]:
+            adjacency = sum(
+                1 for partner in placed_partners if device_graph.has_edge(physical, partner)
+            )
+            avg_dist = 0.0
+            if placed_partners:
+                lengths = []
+                for partner in placed_partners:
+                    try:
+                        lengths.append(
+                            nx.shortest_path_length(device_graph, physical, partner)
+                        )
+                    except nx.NetworkXNoPath:
+                        lengths.append(len(region))
+                avg_dist = sum(lengths) / len(lengths)
+            return (-adjacency, avg_dist + 0.05 * _readout_error(backend, physical))
+        best = min(candidates, key=score)
+        assignment[logical] = best
+        used.add(best)
+    return Layout(tuple(assignment[l] for l in range(circuit.num_qubits)))

@@ -1,0 +1,113 @@
+"""Peephole optimizations: redundant-gate elimination and rotation merging.
+
+The paper notes that during decomposition and mapping "redundant gates are
+eliminated".  This pass performs the standard cleanups on the basis gate set:
+
+* cancel adjacent self-inverse pairs (``cx·cx``, ``x·x``, ``h·h``, ...);
+* merge consecutive ``rz`` rotations on the same qubit and drop zero-angle
+  rotations;
+* drop explicit identity gates.
+
+The pass is iterated until a fixed point is reached.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+
+__all__ = ["cancel_redundant_gates", "merge_rotations", "optimize_circuit"]
+
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cnot", "cz", "swap", "id", "i"}
+_TWO_PI = 2 * math.pi
+
+
+def _is_zero_rotation(gate: Gate) -> bool:
+    if gate.name not in ("rz", "rx", "ry", "u1", "p"):
+        return False
+    angle = gate.params[0] % _TWO_PI
+    return math.isclose(angle, 0.0, abs_tol=1e-10) or math.isclose(
+        angle, _TWO_PI, abs_tol=1e-10
+    )
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge runs of same-axis rotations on the same qubit."""
+    merged = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: dict = {}
+
+    def flush(qubit: Optional[int] = None) -> None:
+        keys = [qubit] if qubit is not None else list(pending.keys())
+        for key in keys:
+            entry = pending.pop(key, None)
+            if entry is None:
+                continue
+            name, angle, label = entry
+            gate = Gate(name, (key,), (angle % _TWO_PI,), label=label)
+            if not _is_zero_rotation(gate):
+                merged.append(gate)
+
+    for gate in circuit:
+        if gate.name in ("rz", "rx", "ry") and gate.num_qubits == 1:
+            qubit = gate.qubits[0]
+            entry = pending.get(qubit)
+            if entry is not None and entry[0] == gate.name:
+                pending[qubit] = (gate.name, entry[1] + gate.params[0], entry[2])
+            else:
+                flush(qubit)
+                pending[qubit] = (gate.name, gate.params[0], gate.label)
+            continue
+        for q in gate.qubits:
+            flush(q)
+        merged.append(gate)
+    flush()
+    return merged
+
+
+def cancel_redundant_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent self-inverse pairs and identity gates."""
+    result: List[Gate] = []
+    last_on_qubit: dict = {}
+    for gate in circuit:
+        if gate.name in ("id", "i"):
+            continue
+        if _is_zero_rotation(gate):
+            continue
+        if gate.name in _SELF_INVERSE and not gate.is_barrier:
+            previous_index = None
+            indices = [last_on_qubit.get(q) for q in gate.qubits]
+            if all(i is not None for i in indices) and len(set(indices)) == 1:
+                candidate = result[indices[0]]
+                if (
+                    candidate is not None
+                    and candidate.name == gate.name
+                    and candidate.qubits == gate.qubits
+                ):
+                    previous_index = indices[0]
+            if previous_index is not None:
+                result[previous_index] = None  # type: ignore[call-overload]
+                for q in gate.qubits:
+                    last_on_qubit.pop(q, None)
+                continue
+        result.append(gate)
+        for q in gate.qubits:
+            last_on_qubit[q] = len(result) - 1
+    cleaned = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in result:
+        if gate is not None:
+            cleaned.append(gate)
+    return cleaned
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_passes: int = 8) -> QuantumCircuit:
+    """Iterate rotation merging and redundant-gate cancellation to a fixed point."""
+    current = circuit
+    for _ in range(max_passes):
+        candidate = cancel_redundant_gates(merge_rotations(current))
+        if candidate.gates == current.gates:
+            return candidate
+        current = candidate
+    return current

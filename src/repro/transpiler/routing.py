@@ -1,0 +1,264 @@
+"""SABRE-style SWAP routing.
+
+Devices do not offer all-to-all connectivity, so CNOTs between non-adjacent
+physical qubits require SWAP insertion — the third cause of idling the paper
+identifies (SWAPs serialize execution and create long idle periods,
+Figure 3).  This pass implements the SABRE heuristic (Li, Ding, Xie —
+ASPLOS'19, the routing policy the paper's methodology uses): it maintains a
+front layer of unexecuted two-qubit gates and greedily applies the SWAP that
+most reduces the summed coupling-graph distance of the front layer, with a
+look-ahead term over the following gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..hardware.backend import Backend
+from .layout import Layout
+
+__all__ = ["RoutedCircuit", "sabre_route"]
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of routing: the physical circuit plus layout bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+
+    def output_qubits(self) -> Tuple[int, ...]:
+        """Physical qubit holding each logical qubit at the end of the program."""
+        return self.final_layout.physical_qubits()
+
+
+class _Mapping:
+    """Bidirectional logical <-> physical qubit mapping."""
+
+    def __init__(self, layout: Layout, num_physical: int) -> None:
+        self.l2p: Dict[int, int] = dict(layout.as_dict())
+        self.p2l: Dict[int, int] = {p: l for l, p in self.l2p.items()}
+        self.num_physical = num_physical
+
+    def physical(self, logical: int) -> int:
+        return self.l2p[logical]
+
+    def swap_physical(self, a: int, b: int) -> None:
+        la, lb = self.p2l.get(a), self.p2l.get(b)
+        if la is not None:
+            self.l2p[la] = b
+        if lb is not None:
+            self.l2p[lb] = a
+        self.p2l.pop(a, None)
+        self.p2l.pop(b, None)
+        if la is not None:
+            self.p2l[b] = la
+        if lb is not None:
+            self.p2l[a] = lb
+
+    def as_layout(self, num_logical: int) -> Layout:
+        return Layout(tuple(self.l2p[l] for l in range(num_logical)))
+
+
+def _distance_matrix(backend: Backend) -> Dict[Tuple[int, int], int]:
+    graph = backend.coupling_graph()
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    return {
+        (a, b): lengths[a][b]
+        for a in lengths
+        for b in lengths[a]
+    }
+
+
+def sabre_route(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    layout: Layout,
+    lookahead: int = 12,
+    lookahead_weight: float = 0.5,
+    max_iterations: Optional[int] = None,
+) -> RoutedCircuit:
+    """Route a logical circuit onto the backend's coupling graph.
+
+    Args:
+        circuit: logical circuit (any gate set; only two-qubit gates constrain
+            routing).
+        backend: target backend.
+        layout: initial logical-to-physical placement.
+        lookahead: number of upcoming two-qubit gates included in the
+            extended heuristic set.
+        lookahead_weight: weight of the extended set relative to the front
+            layer.
+        max_iterations: safety bound on SWAP insertions (defaults to a
+            generous multiple of the gate count).
+    """
+    distances = _distance_matrix(backend)
+    graph = backend.coupling_graph()
+    mapping = _Mapping(layout, backend.num_qubits)
+    routed = QuantumCircuit(backend.num_qubits, name=circuit.name)
+
+    # Terminal measurements are deferred and re-emitted at the final mapping:
+    # SWAPs inserted after a logical qubit's last gate may still move its
+    # state, so measuring at the *final* physical position is what preserves
+    # program semantics (mid-circuit measurement is not supported).
+    measured_logical: List[int] = []
+    body_gates: List[Gate] = []
+    for gate in circuit.gates:
+        if gate.is_measurement:
+            measured_logical.append(gate.qubits[0])
+        else:
+            body_gates.append(gate)
+
+    gates = body_gates
+    dependencies = _build_dependencies(gates)
+    executed = [False] * len(gates)
+    remaining_preds = [len(dependencies[i]) for i in range(len(gates))]
+    successors: List[List[int]] = [[] for _ in range(len(gates))]
+    for idx, preds in enumerate(dependencies):
+        for p in preds:
+            successors[p].append(idx)
+
+    ready = [i for i, count in enumerate(remaining_preds) if count == 0]
+    num_swaps = 0
+    limit = max_iterations or (10 * len(gates) + 1000)
+    iterations = 0
+
+    def is_executable(index: int) -> bool:
+        gate = gates[index]
+        if not gate.is_two_qubit:
+            return True
+        a, b = (mapping.physical(q) for q in gate.qubits)
+        return graph.has_edge(a, b)
+
+    def emit(index: int) -> None:
+        gate = gates[index]
+        physical = tuple(mapping.physical(q) for q in gate.qubits)
+        routed.append(gate.with_qubits(*physical))
+        executed[index] = True
+        for succ in successors[index]:
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.append(succ)
+
+    while ready:
+        iterations += 1
+        if iterations > limit:
+            raise RuntimeError("routing failed to converge (SWAP limit exceeded)")
+        progressed = False
+        for index in sorted(ready):
+            if is_executable(index):
+                ready.remove(index)
+                emit(index)
+                progressed = True
+        if progressed:
+            continue
+
+        # Every ready gate is a blocked two-qubit gate: pick a SWAP.
+        front = [gates[i] for i in ready if gates[i].is_two_qubit]
+        extended = _extended_set(gates, ready, successors, remaining_preds, lookahead)
+        best_swap = _choose_swap(
+            front, extended, mapping, graph, distances, lookahead_weight
+        )
+        a, b = best_swap
+        routed.append(Gate("swap", (a, b), label="routing"))
+        mapping.swap_physical(a, b)
+        num_swaps += 1
+
+    for logical in measured_logical:
+        routed.measure(mapping.physical(logical))
+
+    return RoutedCircuit(
+        circuit=routed,
+        initial_layout=layout,
+        final_layout=mapping.as_layout(circuit.num_qubits),
+        num_swaps=num_swaps,
+    )
+
+
+def _build_dependencies(gates: Sequence[Gate]) -> List[List[int]]:
+    last_on_qubit: Dict[int, int] = {}
+    dependencies: List[List[int]] = []
+    for index, gate in enumerate(gates):
+        preds = []
+        for q in gate.qubits:
+            if q in last_on_qubit:
+                preds.append(last_on_qubit[q])
+            last_on_qubit[q] = index
+        dependencies.append(sorted(set(preds)))
+    return dependencies
+
+
+def _extended_set(
+    gates: Sequence[Gate],
+    ready: Sequence[int],
+    successors: Sequence[Sequence[int]],
+    remaining_preds: Sequence[int],
+    lookahead: int,
+) -> List[Gate]:
+    """Upcoming two-qubit gates reachable from the front layer."""
+    extended: List[Gate] = []
+    frontier = list(ready)
+    seen = set(ready)
+    while frontier and len(extended) < lookahead:
+        nxt: List[int] = []
+        for index in frontier:
+            for succ in successors[index]:
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                nxt.append(succ)
+                if gates[succ].is_two_qubit:
+                    extended.append(gates[succ])
+                    if len(extended) >= lookahead:
+                        break
+            if len(extended) >= lookahead:
+                break
+        frontier = nxt
+    return extended
+
+
+def _choose_swap(
+    front: Sequence[Gate],
+    extended: Sequence[Gate],
+    mapping: _Mapping,
+    graph: nx.Graph,
+    distances: Dict[Tuple[int, int], int],
+    lookahead_weight: float,
+) -> Tuple[int, int]:
+    candidates = set()
+    for gate in front:
+        for logical in gate.qubits:
+            physical = mapping.physical(logical)
+            for neighbor in graph.neighbors(physical):
+                candidates.add(tuple(sorted((physical, neighbor))))
+    if not candidates:
+        raise RuntimeError("no SWAP candidates available; is the device connected?")
+
+    def cost_after(swap: Tuple[int, int]) -> float:
+        trial = {**mapping.l2p}
+        a, b = swap
+        inverse = {p: l for l, p in trial.items()}
+        la, lb = inverse.get(a), inverse.get(b)
+        if la is not None:
+            trial[la] = b
+        if lb is not None:
+            trial[lb] = a
+
+        def dist(gate: Gate) -> float:
+            pa, pb = (trial[q] for q in gate.qubits)
+            return distances.get((pa, pb), len(trial) + 10)
+
+        front_cost = sum(dist(g) for g in front) / max(1, len(front))
+        ext_cost = (
+            sum(dist(g) for g in extended) / len(extended) if extended else 0.0
+        )
+        return front_cost + lookahead_weight * ext_cost
+
+    return min(sorted(candidates), key=cost_after)

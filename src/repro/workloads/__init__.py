@@ -1,0 +1,32 @@
+"""Benchmark workloads: BV, QFT, QAOA, Adder, QPE, GHZ and the Table 4 suite."""
+
+from .adder import adder_expected_output, quantum_adder
+from .bv import bernstein_vazirani, bv_expected_output
+from .ghz import ghz
+from .qaoa import qaoa_benchmark, qaoa_maxcut, random_regular_graph, ring_graph
+from .qft import qft, qft_benchmark
+from .qpe import qpe_expected_output, quantum_phase_estimation
+from .suite import BENCHMARKS, BenchmarkSpec, get_benchmark, list_benchmarks, table4_suite
+from . import primitives
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "adder_expected_output",
+    "bernstein_vazirani",
+    "bv_expected_output",
+    "get_benchmark",
+    "ghz",
+    "list_benchmarks",
+    "primitives",
+    "qaoa_benchmark",
+    "qaoa_maxcut",
+    "qft",
+    "qft_benchmark",
+    "qpe_expected_output",
+    "quantum_adder",
+    "quantum_phase_estimation",
+    "random_regular_graph",
+    "ring_graph",
+    "table4_suite",
+]

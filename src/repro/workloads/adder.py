@@ -1,0 +1,80 @@
+"""Ripple-carry quantum adder benchmark.
+
+The paper uses a 4-qubit ADDER both as a Table 1 workload (IBMQ-Rome) and as
+the decoy-circuit validation case (Figure 9, Table 2).  This module builds a
+Cuccaro-style ripple-carry adder whose width and operand values are
+configurable; the 4-qubit default adds two single-bit operands with a carry
+qubit and an ancilla.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .primitives import prepare_basis_state, toffoli
+
+__all__ = ["quantum_adder", "adder_expected_output"]
+
+
+def quantum_adder(
+    num_bits: int = 1,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Ripple-carry adder computing ``b := a + b`` with a final carry bit.
+
+    Register layout (most significant qubit first in output strings):
+    ``[a_0..a_{n-1}, b_0..b_{n-1}, carry, ancilla]`` for ``num_bits = n``,
+    which gives the 4-qubit adder of the paper for ``num_bits = 1``.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit per operand")
+    a_value = 1 if a_value is None else int(a_value)
+    b_value = 1 if b_value is None else int(b_value)
+    if not 0 <= a_value < 2 ** num_bits or not 0 <= b_value < 2 ** num_bits:
+        raise ValueError("operand values must fit in num_bits")
+
+    num_qubits = 2 * num_bits + 2
+    circuit = QuantumCircuit(num_qubits, name=f"adder-{num_qubits}")
+    a_reg = list(range(num_bits))
+    b_reg = list(range(num_bits, 2 * num_bits))
+    carry = 2 * num_bits
+    ancilla = 2 * num_bits + 1
+
+    a_bits = format(a_value, f"0{num_bits}b")
+    b_bits = format(b_value, f"0{num_bits}b")
+    prepare_basis_state(circuit, a_bits + b_bits)
+
+    # Ripple-carry: majority / un-majority network (Cuccaro et al.).
+    for i in range(num_bits):
+        a_q, b_q = a_reg[num_bits - 1 - i], b_reg[num_bits - 1 - i]
+        prev_carry = ancilla if i == 0 else a_reg[num_bits - i]
+        # MAJ
+        circuit.cx(a_q, b_q)
+        circuit.cx(a_q, prev_carry)
+        toffoli(circuit, prev_carry, b_q, a_q)
+    circuit.cx(a_reg[0], carry)
+    for i in reversed(range(num_bits)):
+        a_q, b_q = a_reg[num_bits - 1 - i], b_reg[num_bits - 1 - i]
+        prev_carry = ancilla if i == 0 else a_reg[num_bits - i]
+        # UMA
+        toffoli(circuit, prev_carry, b_q, a_q)
+        circuit.cx(a_q, prev_carry)
+        circuit.cx(prev_carry, b_q)
+
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def adder_expected_output(num_bits: int = 1, a_value: Optional[int] = None, b_value: Optional[int] = None) -> str:
+    """Noise-free measurement outcome of :func:`quantum_adder`."""
+    a_value = 1 if a_value is None else int(a_value)
+    b_value = 1 if b_value is None else int(b_value)
+    total = a_value + b_value
+    sum_bits = format(total % (2 ** num_bits), f"0{num_bits}b")
+    carry_bit = "1" if total >= 2 ** num_bits else "0"
+    a_bits = format(a_value, f"0{num_bits}b")
+    return a_bits + sum_bits + carry_bit + "0"

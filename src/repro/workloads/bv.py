@@ -1,0 +1,58 @@
+"""Bernstein–Vazirani circuits.
+
+BV is one of the paper's primary benchmarks (BV-6/7/8 and the Figure 3(b)
+idle-time scaling study).  The circuit recovers a hidden bitstring ``s`` with
+a single oracle query; ideally the output is deterministic, which makes its
+fidelity under noise easy to interpret.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["bernstein_vazirani", "bv_expected_output"]
+
+
+def _default_secret(num_data: int) -> str:
+    # Alternating pattern so every other data qubit interacts with the ancilla.
+    return "".join("1" if i % 2 == 0 else "0" for i in range(num_data))
+
+
+def bernstein_vazirani(num_qubits: int, secret: Optional[str] = None) -> QuantumCircuit:
+    """Build a BV circuit on ``num_qubits`` qubits (data qubits + one ancilla).
+
+    Args:
+        num_qubits: total register size; the last qubit is the oracle ancilla.
+        secret: hidden bitstring of length ``num_qubits - 1``; defaults to an
+            alternating pattern.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs at least one data qubit and one ancilla")
+    num_data = num_qubits - 1
+    secret = secret if secret is not None else _default_secret(num_data)
+    if len(secret) != num_data or any(bit not in "01" for bit in secret):
+        raise ValueError(f"secret must be a bitstring of length {num_data}")
+
+    circuit = QuantumCircuit(num_qubits, name=f"bv-{num_qubits}")
+    ancilla = num_qubits - 1
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.h(ancilla)
+    circuit.measure_all()
+    return circuit
+
+
+def bv_expected_output(num_qubits: int, secret: Optional[str] = None) -> str:
+    """The noise-free measurement outcome of :func:`bernstein_vazirani`."""
+    num_data = num_qubits - 1
+    secret = secret if secret is not None else _default_secret(num_data)
+    return secret + "1"

@@ -1,0 +1,26 @@
+"""GHZ state preparation — a simple fully-Clifford workload.
+
+Not part of the paper's Table 4 suite, but useful as an example application
+and in tests: the circuit is Clifford-only (so the stabilizer engine can check
+the decoy machinery end-to-end) and its two-outcome ideal distribution makes
+fidelity trivially interpretable.
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["ghz"]
+
+
+def ghz(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """Prepare the n-qubit GHZ state with a Hadamard and a CNOT chain."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz-{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit

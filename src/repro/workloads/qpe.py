@@ -1,0 +1,64 @@
+"""Quantum Phase Estimation benchmark (QPEA-5 in the paper's suite).
+
+Estimates the phase of a single-qubit phase unitary using ``n-1`` counting
+qubits and one eigenstate qubit, finishing with an inverse QFT.  The default
+phase is chosen to be exactly representable so the ideal output is a single
+bitstring, which makes the fidelity trend easy to read.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .primitives import controlled_phase
+from .qft import qft
+
+__all__ = ["quantum_phase_estimation", "qpe_expected_output"]
+
+
+def quantum_phase_estimation(
+    num_qubits: int = 5,
+    phase: Optional[float] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Build a QPE circuit on ``num_qubits`` qubits (last qubit = eigenstate).
+
+    Args:
+        phase: the phase (as a fraction of 2*pi) encoded by the target
+            unitary; defaults to 5/16 for the 5-qubit instance, exactly
+            representable with 4 counting qubits.
+    """
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least one counting qubit and the eigenstate qubit")
+    counting = num_qubits - 1
+    if phase is None:
+        phase = 5.0 / (2 ** counting)
+    circuit = QuantumCircuit(num_qubits, name=f"qpea-{num_qubits}")
+    eigenstate = num_qubits - 1
+
+    circuit.x(eigenstate)
+    for qubit in range(counting):
+        circuit.h(qubit)
+    for qubit in range(counting):
+        repetitions = 2 ** (counting - 1 - qubit)
+        angle = 2.0 * math.pi * phase * repetitions
+        controlled_phase(circuit, angle, qubit, eigenstate)
+
+    inverse_qft = qft(counting, inverse=True, with_swaps=True)
+    for gate in inverse_qft:
+        circuit.append(gate)
+
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def qpe_expected_output(num_qubits: int = 5, phase: Optional[float] = None) -> str:
+    """Most-likely noise-free outcome (exact when the phase is representable)."""
+    counting = num_qubits - 1
+    if phase is None:
+        phase = 5.0 / (2 ** counting)
+    value = int(round(phase * (2 ** counting))) % (2 ** counting)
+    return format(value, f"0{counting}b") + "1"

@@ -1,0 +1,98 @@
+"""The benchmark suite of Table 4 plus the smaller characterisation workloads.
+
+Every entry is a named, parameter-free constructor so experiments and
+examples can refer to benchmarks by the same identifiers the paper uses
+(``BV-7``, ``QFT-6A``, ``QAOA-10B``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from .adder import quantum_adder
+from .bv import bernstein_vazirani
+from .ghz import ghz
+from .qaoa import qaoa_benchmark
+from .qft import qft_benchmark
+from .qpe import quantum_phase_estimation
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark", "list_benchmarks", "table4_suite"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark: description + constructor."""
+
+    name: str
+    description: str
+    num_qubits: int
+    builder: Callable[[], QuantumCircuit]
+    in_table4: bool = True
+
+    def build(self) -> QuantumCircuit:
+        circuit = self.builder()
+        circuit.name = self.name.lower()
+        return circuit
+
+
+def _spec(name, description, num_qubits, builder, in_table4=True) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        description=description,
+        num_qubits=num_qubits,
+        builder=builder,
+        in_table4=in_table4,
+    )
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        # ---- Table 4 suite -------------------------------------------------
+        _spec("BV-7", "Bernstein Vazirani, 6-bit secret", 7, lambda: bernstein_vazirani(7)),
+        _spec("BV-8", "Bernstein Vazirani, 7-bit secret", 8, lambda: bernstein_vazirani(8)),
+        _spec("QFT-6A", "Fourier transform of a basis state", 6, lambda: qft_benchmark(6, "A")),
+        _spec("QFT-6B", "Fourier transform of a superposition state", 6, lambda: qft_benchmark(6, "B")),
+        _spec("QFT-7A", "Fourier transform of a basis state", 7, lambda: qft_benchmark(7, "A")),
+        _spec("QFT-7B", "Fourier transform of a superposition state", 7, lambda: qft_benchmark(7, "B")),
+        _spec("QAOA-8A", "MaxCut QAOA on an 8-node ring", 8, lambda: qaoa_benchmark(8, "A")),
+        _spec("QAOA-8B", "MaxCut QAOA on a dense 8-node graph", 8, lambda: qaoa_benchmark(8, "B")),
+        _spec("QAOA-10A", "MaxCut QAOA on a 10-node ring", 10, lambda: qaoa_benchmark(10, "A")),
+        _spec("QAOA-10B", "MaxCut QAOA on a dense 10-node graph", 10, lambda: qaoa_benchmark(10, "B")),
+        _spec("QPEA-5", "Quantum phase estimation", 5, lambda: quantum_phase_estimation(5)),
+        # ---- characterisation / motivation workloads ------------------------
+        _spec("BV-4", "Bernstein Vazirani (Figure 3 example)", 4, lambda: bernstein_vazirani(4), False),
+        _spec("BV-6", "Bernstein Vazirani (Figure 8 study)", 6, lambda: bernstein_vazirani(6), False),
+        _spec("QFT-5", "Fourier transform (Table 1 workload)", 5, lambda: qft_benchmark(5, "A"), False),
+        _spec("QFT-6", "Fourier transform (Figure 8 study)", 6, lambda: qft_benchmark(6, "A"), False),
+        _spec("QAOA-5", "MaxCut QAOA (Table 1 workload)", 5, lambda: qaoa_benchmark(5, "A"), False),
+        _spec("ADDER-4", "Ripple-carry adder (Table 1 / Figure 9)", 4, lambda: quantum_adder(1), False),
+        _spec("GHZ-5", "GHZ state preparation (example workload)", 5, lambda: ghz(5), False),
+    ]
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by its paper name (case insensitive)."""
+    key = name.upper()
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark '{name}'; known: {sorted(BENCHMARKS)}")
+    return BENCHMARKS[key]
+
+
+def list_benchmarks(table4_only: bool = False) -> List[str]:
+    names = [
+        name for name, spec in BENCHMARKS.items() if spec.in_table4 or not table4_only
+    ]
+    return sorted(names)
+
+
+def table4_suite() -> List[BenchmarkSpec]:
+    """The eleven benchmarks of Table 4 in their paper order."""
+    order = [
+        "BV-7", "BV-8", "QFT-6A", "QFT-6B", "QFT-7A", "QFT-7B",
+        "QAOA-8A", "QAOA-8B", "QAOA-10A", "QAOA-10B", "QPEA-5",
+    ]
+    return [BENCHMARKS[name] for name in order]

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test-suite: small backends, executors, circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.hardware import Backend, NoisyExecutor
+
+
+@pytest.fixture(scope="session")
+def rome_backend() -> Backend:
+    """5-qubit line device: the cheapest realistic backend for tests."""
+    return Backend.from_name("ibmq_rome", cycle=0)
+
+
+@pytest.fixture(scope="session")
+def london_backend() -> Backend:
+    """5-qubit T-shaped device with the strongest idle noise."""
+    return Backend.from_name("ibmq_london", cycle=0)
+
+
+@pytest.fixture(scope="session")
+def guadalupe_backend() -> Backend:
+    """16-qubit heavy-hex device used by several paper experiments."""
+    return Backend.from_name("ibmq_guadalupe", cycle=0)
+
+
+@pytest.fixture(scope="session")
+def toronto_backend() -> Backend:
+    """27-qubit heavy-hex device (the paper's main evaluation machine)."""
+    return Backend.from_name("ibmq_toronto", cycle=0)
+
+
+@pytest.fixture
+def rome_executor(rome_backend) -> NoisyExecutor:
+    return NoisyExecutor(rome_backend, seed=123, trajectories=60)
+
+
+@pytest.fixture
+def london_executor(london_backend) -> NoisyExecutor:
+    return NoisyExecutor(london_backend, seed=123, trajectories=60)
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz3_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3, name="ghz3")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    return circuit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2021)
+
+
+def random_single_qubit_circuit(
+    num_qubits: int, depth: int, rng: np.random.Generator, clifford_only: bool = False
+) -> QuantumCircuit:
+    """Helper used by several test modules to build random circuits."""
+    circuit = QuantumCircuit(num_qubits, name="random")
+    clifford_gates = ["x", "y", "z", "h", "s", "sdg", "sx"]
+    generic_gates = clifford_gates + ["t", "tdg"]
+    names = clifford_gates if clifford_only else generic_gates
+    for _ in range(depth):
+        kind = rng.random()
+        if kind < 0.35 and num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        elif kind < 0.5 and not clifford_only:
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(num_qubits)))
+        else:
+            name = names[int(rng.integers(len(names)))]
+            circuit.add(name, [int(rng.integers(num_qubits))])
+    return circuit

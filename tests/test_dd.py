@@ -1,0 +1,195 @@
+"""Tests for DD sequences, assignments, planning and circuit materialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.core import GateSequenceTable
+from repro.dd import (
+    CPMGSequence,
+    DDAssignment,
+    IBMQDDSequence,
+    XY4Sequence,
+    get_sequence,
+    materialize_dd_circuit,
+    plan_dd,
+)
+from repro.simulators import StatevectorSimulator
+
+
+def durations(gate):
+    if gate.name in ("rz", "barrier"):
+        return 0.0
+    if gate.is_two_qubit:
+        return 400.0
+    if gate.is_measurement:
+        return 1000.0
+    return 35.0
+
+
+def idle_heavy_circuit(cnots: int = 8) -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    circuit.barrier()
+    for _ in range(cnots):
+        circuit.cx(1, 2)
+    circuit.barrier()
+    circuit.h(0)
+    circuit.measure_all()
+    return circuit
+
+
+class TestSequences:
+    def test_registry(self):
+        assert isinstance(get_sequence("xy4"), XY4Sequence)
+        assert isinstance(get_sequence("ibmq_dd"), IBMQDDSequence)
+        assert isinstance(get_sequence("cpmg"), CPMGSequence)
+        with pytest.raises(KeyError):
+            get_sequence("udd")
+
+    def test_xy4_block_duration_matches_paper_decomposition(self):
+        # X (35) + buffer (10) + Y as SX.RZ.SX (70) + buffer, twice: ~250 ns,
+        # i.e. the "about 210 ns plus buffers" of Section 4.4.3.
+        sequence = XY4Sequence(sq_gate_ns=35.0, buffer_ns=10.0)
+        assert sequence.block_duration() == pytest.approx(250.0)
+        assert sequence.min_window_ns() == pytest.approx(250.0)
+
+    def test_xy4_short_window_returns_none(self):
+        assert XY4Sequence().build_train(0, 0.0, 200.0) is None
+
+    def test_xy4_fills_long_windows_with_repetitions(self):
+        train = XY4Sequence().build_train(0, 0.0, 2500.0)
+        assert train.num_pulses == 4 * 10
+        assert all(p.end <= 2500.0 + 1e-9 for p in train.pulses)
+
+    def test_xy4_pulse_pattern_is_xyxy(self):
+        train = XY4Sequence().build_train(0, 0.0, 250.0)
+        assert [p.name for p in train.pulses] == ["x", "y", "x", "y"]
+
+    def test_xy4_spacing_constant_as_window_grows(self):
+        short = XY4Sequence().build_train(0, 0.0, 1000.0)
+        long = XY4Sequence().build_train(0, 0.0, 8000.0)
+        assert long.average_spacing == pytest.approx(short.average_spacing, rel=0.25)
+
+    def test_ibmq_dd_spacing_grows_with_window_without_repetition(self):
+        sequence = IBMQDDSequence(repetition_period_ns=None)
+        short = sequence.build_train(0, 0.0, 1000.0)
+        long = sequence.build_train(0, 0.0, 8000.0)
+        assert short.num_pulses == 2 and long.num_pulses == 2
+        assert long.average_spacing > 3 * short.average_spacing
+
+    def test_ibmq_dd_conservative_repetition(self):
+        sequence = IBMQDDSequence(repetition_period_ns=2000.0)
+        train = sequence.build_train(0, 0.0, 8000.0)
+        assert train.num_pulses == 8  # four X(pi)-X(-pi) pairs
+
+    def test_ibmq_dd_pulses_fit_in_window(self):
+        train = IBMQDDSequence().build_train(0, 0.0, 3000.0)
+        assert all(0 <= p.offset and p.end <= 3000.0 + 1e-9 for p in train.pulses)
+
+    def test_cpmg_even_pulse_count(self):
+        train = CPMGSequence(target_spacing_ns=400.0).build_train(0, 0.0, 3000.0)
+        assert train.num_pulses % 2 == 0
+        assert train.num_pulses >= 2
+
+    @given(window=st.floats(260.0, 50000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_xy4_trains_always_fit_and_alternate(self, window):
+        train = XY4Sequence().build_train(0, 0.0, window)
+        assert train is not None
+        assert train.num_pulses % 4 == 0
+        offsets = [p.offset for p in train.pulses]
+        assert offsets == sorted(offsets)
+        assert train.pulses[-1].end <= window + 1e-6
+
+    def test_train_gates_are_labelled_dd(self):
+        train = XY4Sequence().build_train(3, 0.0, 500.0)
+        gates = train.gates()
+        assert all(g.label == "dd" for g in gates)
+        assert all(g.qubits == (3,) for g in gates)
+
+
+class TestAssignment:
+    def test_bitstring_round_trip(self):
+        qubits = [2, 5, 7, 9]
+        assignment = DDAssignment.from_bitstring("0101", qubits)
+        assert assignment.qubits == frozenset({5, 9})
+        assert assignment.to_bitstring(qubits) == "0101"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DDAssignment.from_bitstring("01", [1, 2, 3])
+
+    def test_none_and_all(self):
+        assert len(DDAssignment.none()) == 0
+        assignment = DDAssignment.all([1, 2, 3])
+        assert 2 in assignment
+        assert assignment.enabled(3)
+        assert not assignment.enabled(9)
+
+
+class TestPlanning:
+    def test_plan_only_protects_selected_qubits(self):
+        circuit = idle_heavy_circuit()
+        gst = GateSequenceTable(circuit, durations)
+        plan = plan_dd(gst, DDAssignment.all([0]), "xy4")
+        assert plan.num_protected_windows == 1
+        assert plan.pulses_on_qubit(0) > 0
+        assert plan.pulses_on_qubit(1) == 0
+
+    def test_empty_assignment_plans_nothing(self):
+        gst = GateSequenceTable(idle_heavy_circuit(), durations)
+        plan = plan_dd(gst, DDAssignment.none(), "xy4")
+        assert plan.total_pulses == 0
+
+    def test_short_windows_skipped(self):
+        gst = GateSequenceTable(idle_heavy_circuit(cnots=8), durations)
+        plan = plan_dd(gst, DDAssignment.all([0]), "xy4", min_window_ns=1e9)
+        assert plan.total_pulses == 0
+
+    def test_more_idle_means_more_pulses(self):
+        short = GateSequenceTable(idle_heavy_circuit(cnots=4), durations)
+        long = GateSequenceTable(idle_heavy_circuit(cnots=16), durations)
+        pulses_short = plan_dd(short, DDAssignment.all([0]), "xy4").total_pulses
+        pulses_long = plan_dd(long, DDAssignment.all([0]), "xy4").total_pulses
+        assert pulses_long > pulses_short
+
+    def test_train_lookup_by_window(self):
+        gst = GateSequenceTable(idle_heavy_circuit(), durations)
+        plan = plan_dd(gst, DDAssignment.all([0]), "xy4")
+        window = gst.idle_windows(0)[0]
+        assert plan.train_for(window) is not None
+
+
+class TestMaterialisation:
+    @pytest.mark.parametrize("sequence", ["xy4", "ibmq_dd", "cpmg"])
+    def test_dd_circuit_preserves_ideal_semantics(self, sequence):
+        circuit = idle_heavy_circuit()
+        gst = GateSequenceTable(circuit, durations)
+        plan = plan_dd(gst, DDAssignment.all([0, 1, 2]), sequence)
+        assert plan.total_pulses > 0
+        with_dd = materialize_dd_circuit(gst, plan)
+        simulator = StatevectorSimulator()
+        assert np.allclose(
+            simulator.probabilities(with_dd),
+            simulator.probabilities(circuit),
+            atol=1e-9,
+        )
+
+    def test_materialised_circuit_contains_labelled_pulses_and_delays(self):
+        circuit = idle_heavy_circuit()
+        gst = GateSequenceTable(circuit, durations)
+        plan = plan_dd(gst, DDAssignment.all([0]), "xy4")
+        with_dd = materialize_dd_circuit(gst, plan)
+        ops = with_dd.count_ops()
+        assert ops.get("x", 0) + ops.get("y", 0) > ops.get("measure", 0)
+        assert any(g.is_dd_pulse for g in with_dd)
+
+    def test_unprotected_windows_become_delays(self):
+        circuit = idle_heavy_circuit()
+        gst = GateSequenceTable(circuit, durations)
+        plan = plan_dd(gst, DDAssignment.none(), "xy4")
+        with_dd = materialize_dd_circuit(gst, plan)
+        assert with_dd.count_ops().get("delay", 0) >= 1

@@ -1,0 +1,159 @@
+"""Tests for the noisy executor: engines, DD interaction, output mapping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.dd import DDAssignment
+from repro.hardware import Backend, NoisyExecutor
+from repro.metrics import fidelity
+from repro.simulators import SimulationError
+
+
+def probe_circuit(num_qubits, idle_qubit, theta, cnot_link, repetitions):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.ry(theta, idle_qubit)
+    circuit.barrier(idle_qubit, *cnot_link)
+    for _ in range(repetitions):
+        circuit.cx(*cnot_link)
+    circuit.barrier(idle_qubit, *cnot_link)
+    circuit.ry(-theta, idle_qubit)
+    circuit.measure(idle_qubit)
+    return circuit
+
+
+class TestBasics:
+    def test_counts_sum_to_shots(self, london_executor):
+        circuit = QuantumCircuit(5).h(0).cx(0, 1).measure(0).measure(1)
+        result = london_executor.run(circuit, shots=500)
+        assert sum(result.counts.values()) == 500
+        assert result.shots == 500
+
+    def test_probabilities_normalised(self, london_executor):
+        circuit = QuantumCircuit(5).h(0).cx(0, 1).measure_all()
+        result = london_executor.run(circuit, shots=256)
+        assert sum(result.probabilities.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_output_defaults_to_measured_qubits(self, london_executor):
+        circuit = QuantumCircuit(5).x(3).measure(3)
+        result = london_executor.run(circuit, shots=128)
+        assert result.output_qubits == (3,)
+        assert result.probabilities.get("1", 0) > 0.8
+
+    def test_output_qubit_order_is_respected(self, london_executor):
+        circuit = QuantumCircuit(5).x(1).measure(1).measure(2)
+        forward = london_executor.run(circuit, output_qubits=[1, 2], shots=128)
+        reverse = london_executor.run(circuit, output_qubits=[2, 1], shots=128)
+        assert forward.most_probable() == "10"
+        assert reverse.most_probable() == "01"
+
+    def test_unknown_output_qubit_rejected(self, london_executor):
+        circuit = QuantumCircuit(5).x(0).measure(0)
+        with pytest.raises(SimulationError):
+            london_executor.run(circuit, output_qubits=[4])
+
+    def test_unknown_engine_rejected(self, london_executor):
+        circuit = QuantumCircuit(5).x(0).measure(0)
+        with pytest.raises(ValueError):
+            london_executor.run(circuit, engine="magic")
+
+    def test_only_active_qubits_simulated(self, toronto_backend):
+        executor = NoisyExecutor(toronto_backend, seed=0)
+        circuit = QuantumCircuit(27).h(0).cx(0, 1).measure(0).measure(1)
+        result = executor.run(circuit, shots=128)
+        assert result.num_active_qubits == 2
+
+    def test_metadata_reports_device_and_dd(self, london_executor):
+        circuit = QuantumCircuit(5).h(0).measure(0)
+        result = london_executor.run(circuit, shots=64)
+        assert result.metadata["device"] == "ibmq_london"
+        assert result.metadata["dd_sequence"] == "xy4"
+        assert result.engine in ("density_matrix", "trajectories")
+
+    def test_bell_correlations_survive_noise(self, london_executor):
+        circuit = QuantumCircuit(5).h(0).cx(0, 1).measure(0).measure(1)
+        result = london_executor.run(circuit, shots=2000)
+        correlated = result.probability_of("00") + result.probability_of("11")
+        assert correlated > 0.85
+
+
+class TestNoiseEffects:
+    def test_noise_lowers_fidelity_vs_ideal(self, london_executor):
+        circuit = QuantumCircuit(5)
+        for _ in range(6):
+            circuit.cx(0, 1)
+        circuit.measure(0)
+        circuit.measure(1)
+        result = london_executor.run(circuit, shots=4000)
+        assert result.probability_of("00") < 0.999
+        assert result.probability_of("00") > 0.5
+
+    def test_idle_noise_toggle(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=11)
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 12)
+        with_idle = executor.run(circuit, shots=2000)
+        without_idle = executor.run(circuit, shots=2000, include_idle_noise=False)
+        assert without_idle.probability_of("0") > with_idle.probability_of("0")
+
+    def test_crosstalk_hurts_spectator(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=11)
+        short = probe_circuit(5, 0, math.pi / 2, (1, 3), 3)
+        long = probe_circuit(5, 0, math.pi / 2, (1, 3), 18)
+        fidelity_short = executor.run(short, shots=2000).probability_of("0")
+        fidelity_long = executor.run(long, shots=2000).probability_of("0")
+        assert fidelity_long < fidelity_short
+
+    def test_dd_improves_crosstalk_limited_probe(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=11)
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 18)
+        free = executor.run(circuit, shots=3000).probability_of("0")
+        protected = executor.run(
+            circuit, dd_assignment=DDAssignment.all([0]), shots=3000
+        ).probability_of("0")
+        assert protected > free
+
+    def test_dd_pulse_count_reported(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=11)
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 18)
+        result = executor.run(circuit, dd_assignment=DDAssignment.all([0]), shots=64)
+        assert result.dd_pulse_count > 0
+        baseline = executor.run(circuit, shots=64)
+        assert baseline.dd_pulse_count == 0
+
+    def test_polar_state_immune_to_dephasing(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=11)
+        # theta = 0: the qubit stays in |0>, so crosstalk dephasing barely
+        # matters and only T1/readout errors remain.
+        circuit = probe_circuit(5, 0, 0.0, (1, 3), 18)
+        result = executor.run(circuit, shots=3000)
+        assert result.probability_of("0") > 0.9
+
+
+class TestEngines:
+    def test_engine_selection_auto(self, london_executor):
+        circuit = QuantumCircuit(5).h(0).measure(0)
+        assert london_executor.run(circuit, shots=32).engine == "density_matrix"
+
+    def test_engines_agree_on_distribution(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=29, trajectories=400)
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 8)
+        dm = executor.run(circuit, shots=4000, engine="density_matrix")
+        mc = executor.run(circuit, shots=4000, engine="trajectories")
+        assert fidelity(dm.probabilities, mc.probabilities) > 0.95
+
+    def test_trajectory_engine_handles_dd(self, london_backend):
+        executor = NoisyExecutor(london_backend, seed=29, trajectories=150)
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 12)
+        result = executor.run(
+            circuit, dd_assignment=DDAssignment.all([0]), shots=1000, engine="trajectories"
+        )
+        assert sum(result.probabilities.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_seeded_runs_are_reproducible(self, london_backend):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 6)
+        a = NoisyExecutor(london_backend, seed=77).run(circuit, shots=500)
+        b = NoisyExecutor(london_backend, seed=77).run(circuit, shots=500)
+        assert a.counts == b.counts
+        assert a.probabilities == pytest.approx(b.probabilities)

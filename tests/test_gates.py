@@ -1,0 +1,220 @@
+"""Unit tests for the gate layer: matrices, classification, Clifford distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    BASIS_GATE_NAMES,
+    CLIFFORD_GATE_NAMES,
+    Gate,
+    GateDefinitionError,
+    closest_clifford,
+    gate_matrix,
+    is_clifford_name,
+    operator_norm_distance,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    u2_matrix,
+    u3_matrix,
+)
+
+
+def is_unitary(matrix: np.ndarray) -> bool:
+    return np.allclose(matrix.conj().T @ matrix, np.eye(matrix.shape[0]), atol=1e-10)
+
+
+FIXED_GATES = ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg"]
+TWO_QUBIT_GATES = ["cx", "cz", "swap"]
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", FIXED_GATES)
+    def test_single_qubit_matrices_are_unitary(self, name):
+        assert is_unitary(gate_matrix(name))
+
+    @pytest.mark.parametrize("name", TWO_QUBIT_GATES)
+    def test_two_qubit_matrices_are_unitary(self, name):
+        matrix = gate_matrix(name)
+        assert matrix.shape == (4, 4)
+        assert is_unitary(matrix)
+
+    def test_x_squares_to_identity(self):
+        x = gate_matrix("x")
+        assert np.allclose(x @ x, np.eye(2))
+
+    def test_s_squares_to_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_h_is_own_inverse(self):
+        h = gate_matrix("h")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_cnot_matrix_flips_target_when_control_set(self):
+        cx = gate_matrix("cx")
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[3])
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2.5])
+    def test_rotation_matrices_are_unitary(self, theta):
+        for matrix in (rx_matrix(theta), ry_matrix(theta), rz_matrix(theta)):
+            assert is_unitary(matrix)
+
+    def test_rz_pi_equals_z_up_to_phase(self):
+        rz = rz_matrix(math.pi)
+        z = gate_matrix("z")
+        phase = z[0, 0] / rz[0, 0]
+        assert np.allclose(phase * rz, z)
+
+    def test_u3_generalises_u2(self):
+        assert np.allclose(u2_matrix(0.3, 0.7), u3_matrix(math.pi / 2, 0.3, 0.7))
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("frobnicate")
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("measure")
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("u3", [0.1])
+
+    def test_fixed_gate_with_params_raises(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("h", [0.1])
+
+
+class TestGateDataclass:
+    def test_normalises_name_case(self):
+        assert Gate("CX", (0, 1)).name == "cx"
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("cx", (1, 1))
+
+    def test_rejects_negative_qubits(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("x", (-1,))
+
+    def test_two_qubit_gate_requires_two_qubits(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("cx", (0,))
+
+    def test_single_qubit_gate_rejects_two_qubits(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("h", (0, 1))
+
+    def test_delay_requires_duration(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("delay", (0,))
+
+    def test_parametric_arity_enforced(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("rz", (0,))
+
+    def test_with_qubits_remaps(self):
+        gate = Gate("cx", (0, 1)).with_qubits(3, 4)
+        assert gate.qubits == (3, 4)
+
+    def test_with_qubits_wrong_arity_raises(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("cx", (0, 1)).with_qubits(3)
+
+    def test_with_duration_and_label(self):
+        gate = Gate("x", (0,)).with_duration(42.0).with_label("dd")
+        assert gate.duration == 42.0
+        assert gate.label == "dd"
+        assert gate.is_dd_pulse
+
+    def test_classification_flags(self):
+        assert Gate("cx", (0, 1)).is_two_qubit
+        assert Gate("measure", (0,)).is_measurement
+        assert Gate("barrier", (0, 1)).is_barrier
+        assert Gate("delay", (0,), duration=10).is_delay
+        assert not Gate("measure", (0,)).is_unitary
+        assert Gate("h", (0,)).is_unitary
+
+    def test_clifford_classification(self):
+        assert Gate("h", (0,)).is_clifford
+        assert Gate("cx", (0, 1)).is_clifford
+        assert not Gate("t", (0,)).is_clifford
+        assert Gate("rz", (0,), (math.pi / 2,)).is_clifford
+        assert not Gate("rz", (0,), (0.3,)).is_clifford
+        assert Gate("rz", (0,), (2 * math.pi,)).is_clifford
+
+    def test_matrix_accessor_matches_gate_matrix(self):
+        gate = Gate("u3", (0,), (0.4, 1.1, 2.2))
+        assert np.allclose(gate.matrix(), u3_matrix(0.4, 1.1, 2.2))
+
+
+class TestCliffordDistance:
+    def test_distance_zero_for_identical(self):
+        assert operator_norm_distance(gate_matrix("h"), gate_matrix("h")) < 1e-12
+
+    def test_distance_ignores_global_phase(self):
+        h = gate_matrix("h")
+        assert operator_norm_distance(h, np.exp(1j * 0.7) * h) < 1e-9
+
+    def test_distance_symmetric_and_positive(self):
+        a, b = gate_matrix("h"), gate_matrix("s")
+        assert operator_norm_distance(a, b) > 0.1
+        assert math.isclose(
+            operator_norm_distance(a, b), operator_norm_distance(b, a), rel_tol=1e-9
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(GateDefinitionError):
+            operator_norm_distance(gate_matrix("h"), gate_matrix("cx"))
+
+    def test_closest_clifford_of_clifford_is_itself(self):
+        assert closest_clifford("h") == "h"
+        assert closest_clifford("z") == "z"
+
+    def test_t_maps_to_diagonal_clifford(self):
+        # T = diag(1, e^{i pi/4}) is equidistant-ish between id and s; either is
+        # an acceptable "closest Clifford" but it must stay diagonal.
+        assert closest_clifford("t") in ("id", "s", "z", "sdg")
+
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [(0.1, "id"), (math.pi / 2, "s"), (math.pi, "z"), (-math.pi / 2, "sdg")],
+    )
+    def test_u1_replacement_follows_angle(self, angle, expected):
+        assert closest_clifford("u1", [angle]) == expected
+
+    @given(theta=st.floats(0, math.pi), phi=st.floats(0, 2 * math.pi), lam=st.floats(0, 2 * math.pi))
+    @settings(max_examples=25, deadline=None)
+    def test_closest_clifford_is_closer_than_random_alternatives(self, theta, phi, lam):
+        target = u3_matrix(theta, phi, lam)
+        best = closest_clifford("u3", [theta, phi, lam])
+        best_distance = operator_norm_distance(target, gate_matrix(best))
+        for alternative in ("id", "x", "y", "z", "h", "s", "sdg"):
+            assert best_distance <= operator_norm_distance(target, gate_matrix(alternative)) + 1e-9
+
+
+class TestTaxonomy:
+    def test_basis_gates(self):
+        assert {"rz", "sx", "x", "cx"} == set(BASIS_GATE_NAMES)
+
+    def test_clifford_name_lookup(self):
+        assert is_clifford_name("CX")
+        assert is_clifford_name("sdg")
+        assert not is_clifford_name("t")
+
+    def test_clifford_set_contains_papers_gates(self):
+        # "Clifford group – CNOT, X, Y, Z, H, S" (Section 4.2.1)
+        for name in ("cnot", "x", "y", "z", "h", "s"):
+            assert name in CLIFFORD_GATE_NAMES

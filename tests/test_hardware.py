@@ -1,0 +1,215 @@
+"""Tests for topologies, device specs, calibration snapshots and backends."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.hardware import (
+    Backend,
+    DeviceSpec,
+    generate_calibration,
+    get_device,
+    list_devices,
+    synthetic_device,
+    topologies,
+)
+
+
+class TestTopologies:
+    def test_paper_qubit_link_combination_counts(self):
+        # Section 3.2 / 3.3: 224 combinations on Guadalupe, 700 on Toronto.
+        guadalupe = get_device("ibmq_guadalupe")
+        toronto = get_device("ibmq_toronto")
+        assert len(guadalupe.qubit_link_combinations()) == 224
+        assert len(toronto.qubit_link_combinations()) == 700
+
+    def test_device_sizes(self):
+        assert get_device("ibmq_guadalupe").num_qubits == 16
+        assert get_device("ibmq_paris").num_qubits == 27
+        assert get_device("ibmq_toronto").num_qubits == 27
+        assert get_device("ibmq_rome").num_qubits == 5
+
+    def test_coupling_graphs_are_connected(self):
+        import networkx as nx
+
+        for name in list_devices():
+            device = get_device(name)
+            graph = device.coupling_graph()
+            assert nx.is_connected(graph), name
+
+    def test_line_and_all_to_all(self):
+        assert topologies.line(4) == [(0, 1), (1, 2), (2, 3)]
+        assert len(topologies.all_to_all(5)) == 10
+
+    def test_neighbors(self):
+        device = get_device("ibmq_rome")
+        assert topologies.neighbors(device.edges, 2) == frozenset({1, 3})
+
+    def test_distance_matrix_symmetry(self):
+        device = get_device("ibmq_guadalupe")
+        distances = topologies.distance_matrix(device.edges, device.num_qubits)
+        assert distances[(0, 3)] == distances[(3, 0)]
+        assert distances[(0, 0)] == 0
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            topologies.device_edges("ibmq_nowhere")
+        with pytest.raises(KeyError):
+            get_device("ibmq_nowhere")
+
+
+class TestDeviceSpec:
+    def test_registry_has_paper_error_rates(self):
+        toronto = get_device("ibmq_toronto")
+        assert toronto.cnot_error == pytest.approx(0.0152)
+        assert toronto.measurement_error == pytest.approx(0.0442)
+        assert toronto.t1_us == pytest.approx(105.0)
+        assert toronto.t2_us == pytest.approx(114.0)
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", num_qubits=2, edges=((0, 5),),
+                cnot_error=0.01, measurement_error=0.02, sq_error=0.001,
+                t1_us=50, t2_us=50,
+            )
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", num_qubits=2, edges=((1, 1),),
+                cnot_error=0.01, measurement_error=0.02, sq_error=0.001,
+                t1_us=50, t2_us=50,
+            )
+
+    def test_has_edge_is_undirected(self):
+        device = get_device("ibmq_rome")
+        assert device.has_edge(0, 1)
+        assert device.has_edge(1, 0)
+        assert not device.has_edge(0, 4)
+
+    def test_synthetic_all_to_all_device(self):
+        device = synthetic_device(6, template="ibmq_toronto")
+        assert device.num_qubits == 6
+        assert len(device.edges) == 15
+        assert device.cnot_error == get_device("ibmq_toronto").cnot_error
+
+
+class TestCalibration:
+    def test_same_cycle_is_deterministic(self):
+        device = get_device("ibmq_guadalupe")
+        a = generate_calibration(device, cycle=3)
+        b = generate_calibration(device, cycle=3)
+        assert a.qubit(0).t1_ns == b.qubit(0).t1_ns
+        assert a.link((0, 1)).cnot_error == b.link((0, 1)).cnot_error
+
+    def test_different_cycles_differ(self):
+        device = get_device("ibmq_guadalupe")
+        a = generate_calibration(device, cycle=0)
+        b = generate_calibration(device, cycle=1)
+        assert a.qubit(0).t1_ns != b.qubit(0).t1_ns
+
+    @pytest.mark.parametrize("name", ["ibmq_rome", "ibmq_guadalupe", "ibmq_toronto"])
+    def test_values_are_physical(self, name):
+        calibration = generate_calibration(get_device(name), cycle=0)
+        for qubit_cal in calibration.qubits.values():
+            assert qubit_cal.t1_ns > 0
+            assert 0 < qubit_cal.t2_ns <= 2 * qubit_cal.t1_ns + 1e-6
+            assert 0 <= qubit_cal.sq_error <= 0.05
+            assert 0 <= qubit_cal.readout_p01 <= 0.5
+            assert 0 <= qubit_cal.readout_p10 <= 0.5
+            assert 0 < qubit_cal.dd_floor < 1
+            assert qubit_cal.noise_correlation_ns > 0
+        for link_cal in calibration.links.values():
+            assert 0 < link_cal.cnot_error <= 0.2
+            assert link_cal.duration_ns > 100
+
+    def test_link_lookup_is_order_insensitive(self):
+        calibration = generate_calibration(get_device("ibmq_rome"), cycle=0)
+        assert calibration.cnot_duration(0, 1) == calibration.cnot_duration(1, 0)
+        assert calibration.cnot_error(0, 1) == calibration.cnot_error(1, 0)
+
+    def test_missing_link_raises(self):
+        calibration = generate_calibration(get_device("ibmq_rome"), cycle=0)
+        with pytest.raises(KeyError):
+            calibration.link((0, 4))
+
+    def test_crosstalk_defaults_to_neutral(self):
+        calibration = generate_calibration(get_device("ibmq_rome"), cycle=0)
+        entry = calibration.crosstalk_on(0, (0, 1))  # qubit on the link itself
+        assert entry.dephasing_multiplier == 1.0
+        assert entry.zz_shift_rate == 0.0
+
+    def test_adjacent_crosstalk_stronger_than_distant_on_average(self):
+        device = get_device("ibmq_toronto")
+        calibration = generate_calibration(device, cycle=0)
+        adjacent, distant = [], []
+        distances = topologies.distance_matrix(device.edges, device.num_qubits)
+        for (qubit, link), entry in calibration.crosstalk.items():
+            distance = min(distances[(qubit, link[0])], distances[(qubit, link[1])])
+            if distance <= 1:
+                adjacent.append(entry.dephasing_multiplier)
+            elif distance >= 3:
+                distant.append(entry.dephasing_multiplier)
+        assert np.mean(adjacent) > 2 * np.mean(distant)
+
+    def test_table3_style_summaries(self):
+        calibration = generate_calibration(get_device("ibmq_toronto"), cycle=0)
+        assert 0.005 < calibration.average_cnot_error() < 0.05
+        assert 0.01 < calibration.average_measurement_error() < 0.12
+        assert 50 < calibration.average_t1_us() < 200
+        assert calibration.worst_cnot_duration_ratio() >= 1.0
+
+    @given(cycle=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_every_cycle_produces_complete_calibration(self, cycle):
+        device = get_device("ibmq_rome")
+        calibration = generate_calibration(device, cycle=cycle)
+        assert set(calibration.qubits) == set(range(device.num_qubits))
+        assert len(calibration.links) == len(device.edges)
+
+
+class TestBackend:
+    def test_from_name_and_repr(self):
+        backend = Backend.from_name("ibmq_rome", cycle=2)
+        assert backend.name == "ibmq_rome"
+        assert backend.calibration.cycle == 2
+        assert "ibmq_rome" in repr(backend)
+
+    def test_calibration_device_mismatch_rejected(self):
+        calibration = generate_calibration(get_device("ibmq_rome"))
+        with pytest.raises(ValueError):
+            Backend(get_device("ibmq_london"), calibration)
+
+    def test_with_calibration_cycle(self, rome_backend):
+        other = rome_backend.with_calibration_cycle(5)
+        assert other.calibration.cycle == 5
+        assert other.name == rome_backend.name
+
+    def test_gate_durations(self, rome_backend):
+        assert rome_backend.gate_duration(Gate("rz", (0,), (0.3,))) == 0.0
+        assert rome_backend.gate_duration(Gate("sx", (0,))) == pytest.approx(35.0)
+        assert rome_backend.gate_duration(Gate("x", (0,))) == pytest.approx(35.0)
+        assert rome_backend.gate_duration(Gate("measure", (0,))) > 1000
+        cnot = rome_backend.gate_duration(Gate("cx", (0, 1)))
+        assert 200 < cnot < 1200
+        swap = rome_backend.gate_duration(Gate("swap", (0, 1)))
+        assert swap == pytest.approx(3 * cnot)
+
+    def test_explicit_duration_wins(self, rome_backend):
+        assert rome_backend.gate_duration(Gate("x", (0,), duration=99.0)) == 99.0
+
+    def test_cnot_duration_varies_per_link(self, toronto_backend):
+        durations = {
+            edge: toronto_backend.gate_duration(Gate("cx", edge))
+            for edge in toronto_backend.edges
+        }
+        assert max(durations.values()) > min(durations.values())
+
+    def test_schedule_returns_gst(self, rome_backend):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        gst = rome_backend.schedule(circuit)
+        assert gst.total_duration > 0
+        assert set(gst.active_qubits()) == {0, 1, 2}
