@@ -6,15 +6,19 @@ Every file in this directory regenerates one table or figure of the paper
 benchmark subset — so the whole suite completes in minutes on a laptop while
 still exhibiting the paper's qualitative shapes.  Set ``REPRO_FULL=1`` to run
 the full-size sweeps (much slower).
+
+The harness is opt-in: plain ``python -m pytest`` collects only ``tests/``
+(see ``[tool.pytest.ini_options]`` in pyproject.toml); run it explicitly with
+``python -m pytest benchmarks``.  The ``scale``/``print_section`` helpers live
+in :mod:`repro.testing` so they are importable under the importlib import
+mode.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-FULL_RUN = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+from repro.testing import FULL_RUN
 
 
 def pytest_configure(config):
@@ -33,15 +37,3 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def full_run() -> bool:
     return FULL_RUN
-
-
-def scale(fast_value, full_value):
-    """Pick the fast or full value for a budget knob."""
-    return full_value if FULL_RUN else fast_value
-
-
-def print_section(title: str) -> None:
-    print()
-    print("=" * 78)
-    print(title)
-    print("=" * 78)

@@ -17,7 +17,7 @@ from repro.metrics import fidelity
 from repro.transpiler import transpile
 from repro.workloads import get_benchmark
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def _fidelity_of(executor, compiled, assignment, shots):

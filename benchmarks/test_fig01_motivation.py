@@ -6,7 +6,7 @@ to the right single qubit can help more.
 
 from repro.analysis import figure1_motivation_study
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig01_motivation(benchmark):

@@ -7,7 +7,7 @@ identical error rates but all-to-all connectivity.
 
 from repro.analysis import figure3_swap_idle_study
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig03_swap_idling(benchmark):

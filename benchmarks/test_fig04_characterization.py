@@ -18,7 +18,7 @@ from repro.analysis import (
 )
 from repro.hardware import Backend
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig04_single_qubit_and_crosstalk(benchmark):

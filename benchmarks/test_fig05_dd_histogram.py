@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis import full_device_characterization, relative_dd_fidelity
 from repro.hardware import Backend
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig05_relative_dd_fidelity_histogram(benchmark):

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.analysis import calibration_drift_study
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig06_calibration_drift(benchmark):

@@ -12,7 +12,7 @@ from repro.hardware import Backend, NoisyExecutor
 from repro.transpiler import transpile
 from repro.workloads import get_benchmark
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def _sweep(benchmark_name: str, shots: int):

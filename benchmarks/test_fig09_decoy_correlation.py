@@ -8,7 +8,7 @@ what makes the decoy a usable proxy for the search.
 from repro.analysis import decoy_correlation_study
 from repro.hardware import Backend
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig09_adder_decoy_correlation(benchmark):

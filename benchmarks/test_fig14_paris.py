@@ -7,7 +7,7 @@ All-DD on average; Runtime-Best (when evaluated) is the upper bound.
 from repro.analysis import EvaluationConfig, run_machine_evaluation
 from repro.metrics import geometric_mean
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig14_paris_policies(benchmark):

@@ -8,7 +8,7 @@ average) and still captures the available gains.
 from repro.analysis import EvaluationConfig, run_machine_evaluation
 from repro.metrics import geometric_mean
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def _config(dd_sequence: str) -> EvaluationConfig:

@@ -10,7 +10,7 @@ import numpy as np
 from repro.analysis import pulse_type_study
 from repro.hardware import Backend
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_fig16_pulse_type_comparison(benchmark):

@@ -7,7 +7,7 @@ hurt others (Adder).
 
 from repro.analysis import table1_idle_fractions
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_tab01_idle_fractions(benchmark):

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.analysis import decoy_quality_table
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_tab02_decoy_quality(benchmark):

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import format_table, hardware_characteristics_table
 
-from conftest import print_section
+from repro.testing import print_section
 
 #: Paper Table 3 values: (CNOT %, measurement %, T1 us, T2 us).
 PAPER_TABLE3 = {

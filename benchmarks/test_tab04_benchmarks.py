@@ -7,7 +7,7 @@ deepest and most idle, BV the shallowest, QAOA-B heavier than QAOA-A.
 
 from repro.analysis import benchmark_characteristics_table, format_table
 
-from conftest import print_section
+from repro.testing import print_section
 
 
 def test_tab04_benchmark_characteristics(benchmark):

@@ -8,7 +8,7 @@ every machine, and ADAPT's worst case is better than All-DD's worst case
 from repro.analysis import EvaluationConfig, run_machine_evaluation, table5_summary
 from repro.analysis.tables import format_table
 
-from conftest import print_section, scale
+from repro.testing import print_section, scale
 
 
 def test_tab05_summary(benchmark):

@@ -6,8 +6,9 @@ scratch in Python:
 * :mod:`repro.circuits` — circuit IR (gates, circuits, dependency DAGs);
 * :mod:`repro.simulators` — statevector, density-matrix, stabilizer and
   extended-stabilizer engines plus Kraus channels;
-* :mod:`repro.hardware` — IBMQ device models, calibration snapshots and the
-  noisy executor;
+* :mod:`repro.hardware` — IBMQ device models, calibration snapshots, the
+  noisy executor and the batched executor (shared-GST caching, stacked
+  engines, multi-process fan-out);
 * :mod:`repro.noise` — gate/readout noise and the idle-window noise model
   (crosstalk, DD refocusing, DD pulse cost);
 * :mod:`repro.transpiler` — basis decomposition, noise-adaptive layout, SABRE
@@ -42,7 +43,14 @@ from .simulators import (
     StabilizerSimulator,
     StatevectorSimulator,
 )
-from .hardware import Backend, NoisyExecutor, get_device, list_devices
+from .hardware import (
+    Backend,
+    BatchExecutor,
+    BatchJob,
+    NoisyExecutor,
+    get_device,
+    list_devices,
+)
 from .transpiler import CompiledProgram, transpile
 from .dd import DDAssignment, DDPlan, get_sequence, plan_dd
 from .core import (
@@ -60,6 +68,8 @@ __all__ = [
     "Adapt",
     "AdaptConfig",
     "Backend",
+    "BatchExecutor",
+    "BatchJob",
     "CompiledProgram",
     "DDAssignment",
     "DDPlan",

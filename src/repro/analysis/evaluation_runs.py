@@ -10,7 +10,7 @@ shot/trajectory budget; the defaults used by the benchmark harness are the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.adapt import AdaptConfig
@@ -22,6 +22,7 @@ from ..core.evaluation import (
 )
 from ..core.policies import standard_policies
 from ..hardware.backend import Backend
+from ..hardware.batch import BatchExecutor, create_worker_pool
 from ..hardware.execution import NoisyExecutor
 from ..transpiler.transpile import transpile
 from ..workloads.suite import get_benchmark
@@ -55,6 +56,14 @@ class EvaluationConfig:
     seed: int = 7
     adapt_decoy_kind: str = "sdc"
     adapt_group_size: int = 4
+    #: Route decoy scoring, the Runtime-Best oracle and the final policy
+    #: executions through a shared :class:`BatchExecutor`.
+    use_batch: bool = True
+    #: Worker processes: fans policy decisions out in
+    #: :func:`run_policy_comparison` and benchmarks out in
+    #: :func:`run_machine_evaluation`.  Per-evaluation seeding keeps every
+    #: result identical to the single-process run.
+    n_workers: int = 1
 
 
 def run_policy_comparison(
@@ -69,11 +78,20 @@ def run_policy_comparison(
     executor = NoisyExecutor(
         backend, seed=config.seed, trajectories=config.trajectories
     )
+    batch_executor = (
+        BatchExecutor(backend, trajectories=config.trajectories)
+        if config.use_batch
+        else None
+    )
     adapt_config = AdaptConfig(
         dd_sequence=config.dd_sequence,
         decoy_kind=config.adapt_decoy_kind,
         group_size=config.adapt_group_size,
         decoy_shots=config.decoy_shots,
+        use_batch=config.use_batch,
+        # Policies are fanned out at the evaluation level; keep decoy scoring
+        # in-process inside each worker to avoid nested pools.
+        n_workers=1,
     )
     policies = standard_policies(
         executor,
@@ -82,6 +100,7 @@ def run_policy_comparison(
         adapt_config=adapt_config,
         include_runtime_best=config.include_runtime_best,
         seed=config.seed,
+        batch_executor=batch_executor,
     )
     for policy in policies:
         if hasattr(policy, "max_evaluations"):
@@ -93,7 +112,16 @@ def run_policy_comparison(
         dd_sequence=config.dd_sequence,
         shots=config.shots,
         benchmark_name=benchmark,
+        n_workers=config.n_workers,
+        batch_executor=batch_executor,
+        seed=config.seed,
     )
+
+
+def _run_comparison_remote(args) -> BenchmarkEvaluation:
+    benchmark, device_name, calibration_cycle, config = args
+    backend = Backend.from_name(device_name, cycle=calibration_cycle)
+    return run_policy_comparison(benchmark, backend, config)
 
 
 def run_machine_evaluation(
@@ -102,7 +130,24 @@ def run_machine_evaluation(
     config: Optional[EvaluationConfig] = None,
     calibration_cycle: int = 0,
 ) -> List[BenchmarkEvaluation]:
-    """Figure 13/14/15 driver: all benchmarks of one figure on one machine."""
+    """Figure 13/14/15 driver: all benchmarks of one figure on one machine.
+
+    With ``config.n_workers > 1`` the benchmarks are fanned out over worker
+    processes (one full policy comparison per worker); each worker runs its
+    inner evaluation single-process, and per-benchmark seeding makes the
+    result identical to the serial sweep.
+    """
+    config = config or EvaluationConfig()
+    if config.n_workers > 1 and len(benchmarks) > 1:
+        pool = create_worker_pool(min(config.n_workers, len(benchmarks)))
+        if pool is not None:
+            inner = replace(config, n_workers=1)
+            payloads = [
+                (benchmark, device_name, calibration_cycle, inner)
+                for benchmark in benchmarks
+            ]
+            with pool:
+                return list(pool.map(_run_comparison_remote, payloads))
     backend = Backend.from_name(device_name, cycle=calibration_cycle)
     return [
         run_policy_comparison(benchmark, backend, config) for benchmark in benchmarks

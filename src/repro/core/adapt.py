@@ -11,14 +11,21 @@ compiled program, ADAPT
    algorithm, and
 4. returns the selected combination, ready to be applied to the input program.
 
-The executor is injected so the same class drives both the simulated backends
-of this reproduction and, in principle, a real submission pipeline.
+Decoy scoring is the hot path (up to ``4 * N`` executions of the same decoy
+circuit), so the scorer hands whole neighbourhoods to a
+:class:`~repro.hardware.batch.BatchExecutor`, which shares the Gate Sequence
+Table, the event template and the memoized idle-window noise across the
+batch, and can fan candidates out over worker processes
+(``AdaptConfig.n_workers``).  Every decoy evaluation runs under its own seed
+derived from the ADAPT seed and the evaluation index, so selections are
+bit-identical across the batched path, the sequential fallback
+(``use_batch=False``) and any worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,10 +37,24 @@ from .gst import GateSequenceTable
 from .search import LocalizedSearch, SearchResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.batch import BatchExecutor
     from ..hardware.execution import NoisyExecutor
     from ..transpiler.transpile import CompiledProgram
 
-__all__ = ["AdaptConfig", "AdaptResult", "Adapt"]
+__all__ = ["AdaptConfig", "AdaptResult", "Adapt", "evaluation_seed"]
+
+
+def evaluation_seed(base: int, index: int, domain: int = 0) -> int:
+    """Deterministic per-evaluation seed from a base seed and eval index.
+
+    ``domain`` separates consumers sharing one base seed (decoy scoring,
+    the Runtime-Best oracle, final policy executions) so their streams are
+    statistically independent — without it the oracle's candidate draws
+    would collide with the final measurements they are compared against.
+    """
+    return int(
+        np.random.SeedSequence([int(base), int(domain), int(index)]).generate_state(1)[0]
+    )
 
 
 @dataclass(frozen=True)
@@ -47,6 +68,11 @@ class AdaptConfig:
     decoy_shots: int = 2048
     max_seed_qubits: int = 8
     min_idle_window_ns: Optional[float] = None
+    #: Score whole neighbourhoods as one shared-program batch (recommended).
+    use_batch: bool = True
+    #: Worker processes for decoy scoring; 1 = in-process.  Results are
+    #: independent of the worker count thanks to per-evaluation seeds.
+    n_workers: int = 1
 
 
 @dataclass
@@ -68,14 +94,103 @@ class AdaptResult:
         return self.search.num_evaluations
 
 
+class _DecoyScorer:
+    """Scores DD candidates by decoy fidelity; batch- and worker-aware.
+
+    Exposes both the plain callable protocol and ``score_many`` (detected by
+    the search strategies).  Seeds are assigned by global evaluation index,
+    so the batched, sequential and multi-process paths select identically.
+    """
+
+    def __init__(
+        self,
+        adapt: "Adapt",
+        circuit: QuantumCircuit,
+        ideal: Dict[str, float],
+        gst: GateSequenceTable,
+        output_qubits: Sequence[int],
+    ) -> None:
+        self._adapt = adapt
+        self._circuit = circuit
+        self._ideal = ideal
+        self._gst = gst
+        self._output_qubits = tuple(output_qubits)
+        self._counter = 0
+
+    def _next_seeds(self, count: int) -> List[int]:
+        seeds = [
+            evaluation_seed(self._adapt._base_seed, self._counter + i)
+            for i in range(count)
+        ]
+        self._counter += count
+        return seeds
+
+    def __call__(self, assignment: DDAssignment) -> float:
+        return self.score_many([assignment])[0]
+
+    def score_many(self, assignments: Sequence[DDAssignment]) -> List[float]:
+        config = self._adapt.config
+        seeds = self._next_seeds(len(assignments))
+        if not config.use_batch:
+            results = [
+                self._adapt.executor.run(
+                    self._circuit,
+                    dd_assignment=assignment,
+                    dd_sequence=config.dd_sequence,
+                    shots=config.decoy_shots,
+                    output_qubits=self._output_qubits,
+                    gst=self._gst,
+                    seed=seed,
+                )
+                for assignment, seed in zip(assignments, seeds)
+            ]
+        elif config.n_workers > 1 and len(assignments) > 1:
+            from ..hardware.batch import BatchJob, run_jobs_in_processes
+
+            jobs = [
+                BatchJob(
+                    dd_assignment=assignment,
+                    dd_sequence=config.dd_sequence,
+                    shots=config.decoy_shots,
+                    seed=seed,
+                    output_qubits=self._output_qubits,
+                )
+                for assignment, seed in zip(assignments, seeds)
+            ]
+            results = run_jobs_in_processes(
+                self._adapt.executor.backend,
+                self._circuit,
+                jobs,
+                config.n_workers,
+                gst=self._gst,
+                executor_options=self._adapt._batch_options(),
+                pool=self._adapt._worker_pool(),
+            )
+        else:
+            results = self._adapt.batch_executor.run_assignments(
+                self._circuit,
+                list(assignments),
+                dd_sequence=config.dd_sequence,
+                shots=config.decoy_shots,
+                output_qubits=self._output_qubits,
+                gst=self._gst,
+                seeds=seeds,
+            )
+        return [fidelity(self._ideal, result.probabilities) for result in results]
+
+
 class Adapt:
     """Adaptive Dynamical Decoupling selection pass.
 
     Args:
         executor: a :class:`~repro.hardware.execution.NoisyExecutor` (or any
             object with the same ``run`` signature) used to execute decoys.
-        config: search / decoy options.
-        seed: seed for the executor RNG used during decoy scoring.
+        config: search / decoy / batching options.
+        seed: base seed for decoy scoring; every decoy evaluation derives its
+            own stream from ``(seed, evaluation index)``.
+        batch_executor: optional shared
+            :class:`~repro.hardware.batch.BatchExecutor`; built on demand
+            from the executor's backend when omitted.
     """
 
     def __init__(
@@ -83,10 +198,58 @@ class Adapt:
         executor: "NoisyExecutor",
         config: Optional[AdaptConfig] = None,
         seed: Optional[int] = None,
+        batch_executor: Optional["BatchExecutor"] = None,
     ) -> None:
         self.executor = executor
         self.config = config or AdaptConfig()
-        self._rng = np.random.default_rng(seed)
+        if seed is None:
+            seed = int(np.random.default_rng().integers(0, 2 ** 63))
+        self._base_seed = int(seed)
+        self._batch = batch_executor
+        self._pool = None
+
+    def _batch_options(self) -> Dict[str, object]:
+        return {
+            "dm_qubit_limit": getattr(self.executor, "dm_qubit_limit", 10),
+            "trajectories": getattr(self.executor, "trajectories", 120),
+        }
+
+    @property
+    def batch_executor(self) -> "BatchExecutor":
+        """The shared batch executor (created lazily from the backend)."""
+        if self._batch is None:
+            from ..hardware.batch import BatchExecutor
+
+            self._batch = BatchExecutor(
+                self.executor.backend, **self._batch_options()
+            )
+        return self._batch
+
+    def _worker_pool(self):
+        """Persistent process pool reused across score_many calls."""
+        if self._pool is None:
+            from ..hardware.batch import create_worker_pool
+
+            self._pool = create_worker_pool(self.config.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self):
+        # Process pools are not picklable; workers recreate their own.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -109,17 +272,7 @@ class Adapt:
         decoy_ideal = decoy.ideal_distribution(output_qubits)
         decoy_gst = self.executor.backend.schedule(decoy.circuit)
 
-        def score(assignment: DDAssignment) -> float:
-            result = self.executor.run(
-                decoy.circuit,
-                dd_assignment=assignment,
-                dd_sequence=self.config.dd_sequence,
-                shots=self.config.decoy_shots,
-                output_qubits=output_qubits,
-                gst=decoy_gst,
-                rng=self._rng,
-            )
-            return fidelity(decoy_ideal, result.probabilities)
+        score = _DecoyScorer(self, decoy.circuit, decoy_ideal, decoy_gst, output_qubits)
 
         idle_time = {q: gst.total_idle_time(q) for q in program_qubits}
         search = LocalizedSearch(

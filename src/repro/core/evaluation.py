@@ -17,9 +17,11 @@ from ..circuits.circuit import QuantumCircuit
 from ..dd.insertion import DDAssignment
 from ..metrics.fidelity import fidelity, geometric_mean
 from ..simulators.statevector import StatevectorSimulator
+from .adapt import evaluation_seed
 from .policies import Policy, PolicyDecision
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.batch import BatchExecutor
     from ..hardware.execution import NoisyExecutor
     from ..transpiler.transpile import CompiledProgram
 
@@ -109,6 +111,42 @@ class BenchmarkEvaluation:
         return row
 
 
+def _decide_one(args) -> PolicyDecision:
+    policy, compiled = args
+    return policy.decide(compiled)
+
+
+def _policy_decisions(
+    policies: Sequence[Policy], compiled: "CompiledProgram", n_workers: int
+) -> List[PolicyDecision]:
+    """Run every policy's selection, optionally fanned out over processes.
+
+    Only the expensive selections (``Policy.expensive``: ADAPT, Runtime-Best)
+    are shipped to workers; trivial decisions run inline.  Decisions are
+    independent of each other, so the fan-out preserves results exactly
+    (policies derive their randomness from their own seeds).  Falls back to
+    the sequential loop when multiprocessing is unavailable.
+    """
+    expensive = [i for i, p in enumerate(policies) if getattr(p, "expensive", False)]
+    if n_workers <= 1 or len(expensive) <= 1:
+        return [policy.decide(compiled) for policy in policies]
+    from ..hardware.batch import create_worker_pool  # avoid circular import
+
+    pool = create_worker_pool(n_workers)
+    if pool is None:  # pragma: no cover - non-POSIX platforms
+        return [policy.decide(compiled) for policy in policies]
+    with pool:
+        payloads = [(policies[i], compiled) for i in expensive]
+        fanned = pool.map(_decide_one, payloads)
+        decisions: List[Optional[PolicyDecision]] = [None] * len(policies)
+        for i, decision in zip(expensive, fanned):
+            decisions[i] = decision
+        for i, policy in enumerate(policies):
+            if decisions[i] is None:
+                decisions[i] = policy.decide(compiled)
+        return decisions  # type: ignore[return-value]
+
+
 def evaluate_policies(
     compiled: "CompiledProgram",
     policies: Sequence[Policy],
@@ -118,8 +156,20 @@ def evaluate_policies(
     ideal: Optional[Dict[str, float]] = None,
     benchmark_name: Optional[str] = None,
     rng: Optional[np.random.Generator] = None,
+    n_workers: int = 1,
+    batch_executor: Optional["BatchExecutor"] = None,
+    seed: Optional[int] = None,
 ) -> BenchmarkEvaluation:
-    """Run every policy on a compiled benchmark and compare fidelities."""
+    """Run every policy on a compiled benchmark and compare fidelities.
+
+    Args:
+        n_workers: fan policy decisions (the expensive ADAPT / Runtime-Best
+            selections) out over this many worker processes.
+        batch_executor: submit the final per-policy program executions as one
+            shared-program batch instead of one ``executor.run`` per policy.
+        seed: with ``batch_executor``, gives each final execution its own
+            deterministic per-policy stream.
+    """
     ideal = ideal or compiled_ideal_distribution(compiled)
     gst = compiled.gst
     evaluation = BenchmarkEvaluation(
@@ -129,19 +179,50 @@ def evaluate_policies(
         baseline_fidelity=0.0,
     )
 
-    decisions: List[PolicyDecision] = [policy.decide(compiled) for policy in policies]
+    decisions = _policy_decisions(policies, compiled, n_workers)
     baseline_fidelity: Optional[float] = None
 
-    for decision in decisions:
-        result = executor.run(
+    if batch_executor is not None:
+        if seed is not None:
+            seeds = [evaluation_seed(seed, i, domain=2) for i in range(len(decisions))]
+        elif rng is not None:
+            # Preserve the legacy contract: a caller-supplied rng still
+            # determines the final executions on the batched path.
+            seeds = [int(rng.integers(0, 2 ** 63)) for _ in decisions]
+        else:
+            # Mirror the unbatched branch, which falls back to the executor's
+            # own stream — a seeded NoisyExecutor stays reproducible even
+            # when the caller omits seed/rng on the batched path.
+            fallback = getattr(executor, "_rng", None)
+            seeds = (
+                [int(fallback.integers(0, 2 ** 63)) for _ in decisions]
+                if fallback is not None
+                else None
+            )
+        results = batch_executor.run_assignments(
             compiled.physical_circuit,
-            dd_assignment=decision.assignment,
+            [decision.assignment for decision in decisions],
             dd_sequence=dd_sequence,
             shots=shots,
             output_qubits=compiled.output_qubits,
             gst=gst,
-            rng=rng,
+            seeds=seeds,
         )
+    else:
+        results = [
+            executor.run(
+                compiled.physical_circuit,
+                dd_assignment=decision.assignment,
+                dd_sequence=dd_sequence,
+                shots=shots,
+                output_qubits=compiled.output_qubits,
+                gst=gst,
+                rng=rng,
+            )
+            for decision in decisions
+        ]
+
+    for decision, result in zip(decisions, results):
         value = fidelity(ideal, result.probabilities)
         if decision.policy == "no_dd":
             baseline_fidelity = value

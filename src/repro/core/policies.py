@@ -20,10 +20,11 @@ import numpy as np
 
 from ..dd.insertion import DDAssignment
 from ..metrics.fidelity import fidelity
-from .adapt import Adapt, AdaptConfig
+from .adapt import Adapt, AdaptConfig, evaluation_seed
 from .search import all_assignments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.batch import BatchExecutor
     from ..hardware.execution import NoisyExecutor
     from ..transpiler.transpile import CompiledProgram
 
@@ -56,6 +57,9 @@ class Policy:
     """Base class: a policy maps a compiled program to a DD assignment."""
 
     name = "base"
+    #: True for policies whose decide() runs circuit executions (worth
+    #: fanning out over worker processes); trivial policies stay inline.
+    expensive = False
 
     def decide(self, compiled: "CompiledProgram") -> PolicyDecision:
         raise NotImplementedError
@@ -84,14 +88,18 @@ class AdaptPolicy(Policy):
     """The paper's contribution: decoy-driven localized selection."""
 
     name = "adapt"
+    expensive = True
 
     def __init__(
         self,
         executor: "NoisyExecutor",
         config: Optional[AdaptConfig] = None,
         seed: Optional[int] = None,
+        batch_executor: Optional["BatchExecutor"] = None,
     ) -> None:
-        self._adapt = Adapt(executor, config=config, seed=seed)
+        self._adapt = Adapt(
+            executor, config=config, seed=seed, batch_executor=batch_executor
+        )
 
     def decide(self, compiled: "CompiledProgram") -> PolicyDecision:
         result = self._adapt.select(compiled)
@@ -110,6 +118,7 @@ class RuntimeBestPolicy(Policy):
     """Oracle: score combinations on the real program's true output."""
 
     name = "runtime_best"
+    expensive = True
 
     def __init__(
         self,
@@ -120,6 +129,7 @@ class RuntimeBestPolicy(Policy):
         max_exhaustive_qubits: int = 6,
         max_evaluations: int = 64,
         seed: Optional[int] = None,
+        batch_executor: Optional["BatchExecutor"] = None,
     ) -> None:
         self.executor = executor
         self.ideal_distribution = ideal_distribution
@@ -127,6 +137,8 @@ class RuntimeBestPolicy(Policy):
         self.shots = shots
         self.max_exhaustive_qubits = int(max_exhaustive_qubits)
         self.max_evaluations = int(max_evaluations)
+        self.batch_executor = batch_executor
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _candidate_assignments(self, qubits: Sequence[int]) -> List[DDAssignment]:
@@ -149,28 +161,49 @@ class RuntimeBestPolicy(Policy):
         qubits = compiled.gst.active_qubits()
         ideal = self.ideal_distribution(compiled)
         gst = compiled.gst
-        best_assignment = DDAssignment.none()
-        best_score = -1.0
-        evaluations = 0
-        for assignment in self._candidate_assignments(qubits):
-            result = self.executor.run(
+        candidates = self._candidate_assignments(qubits)
+        if self.batch_executor is not None:
+            # All candidates share the program: submit them as one batch with
+            # per-candidate seeds so the oracle is reproducible.
+            seeds = None
+            if self._seed is not None:
+                seeds = [
+                    evaluation_seed(self._seed, i, domain=1)
+                    for i in range(len(candidates))
+                ]
+            results = self.batch_executor.run_assignments(
                 compiled.physical_circuit,
-                dd_assignment=assignment,
+                candidates,
                 dd_sequence=self.dd_sequence,
                 shots=self.shots,
                 output_qubits=compiled.output_qubits,
                 gst=gst,
-                rng=self._rng,
+                seeds=seeds,
             )
+        else:
+            results = [
+                self.executor.run(
+                    compiled.physical_circuit,
+                    dd_assignment=assignment,
+                    dd_sequence=self.dd_sequence,
+                    shots=self.shots,
+                    output_qubits=compiled.output_qubits,
+                    gst=gst,
+                    rng=self._rng,
+                )
+                for assignment in candidates
+            ]
+        best_assignment = DDAssignment.none()
+        best_score = -1.0
+        for assignment, result in zip(candidates, results):
             score = fidelity(ideal, result.probabilities)
-            evaluations += 1
             if score > best_score:
                 best_score = score
                 best_assignment = assignment
         return PolicyDecision(
             policy=self.name,
             assignment=best_assignment,
-            num_evaluations=evaluations,
+            num_evaluations=len(candidates),
             metadata={"best_score": best_score},
         )
 
@@ -182,13 +215,19 @@ def standard_policies(
     adapt_config: Optional[AdaptConfig] = None,
     include_runtime_best: bool = True,
     seed: Optional[int] = None,
+    batch_executor: Optional["BatchExecutor"] = None,
 ) -> List[Policy]:
-    """The evaluation's four policies, in the paper's order."""
+    """The evaluation's four policies, in the paper's order.
+
+    ``batch_executor`` is shared by ADAPT's decoy scoring and the
+    Runtime-Best oracle, so all expensive policies reuse one compiled-program
+    cache.
+    """
     config = adapt_config or AdaptConfig(dd_sequence=dd_sequence)
     policies: List[Policy] = [
         NoDDPolicy(),
         AllDDPolicy(),
-        AdaptPolicy(executor, config=config, seed=seed),
+        AdaptPolicy(executor, config=config, seed=seed, batch_executor=batch_executor),
     ]
     if include_runtime_best:
         policies.append(
@@ -197,6 +236,7 @@ def standard_policies(
                 ideal_distribution,
                 dd_sequence=dd_sequence,
                 seed=seed,
+                batch_executor=batch_executor,
             )
         )
     return policies

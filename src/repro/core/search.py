@@ -29,10 +29,35 @@ __all__ = [
     "ExhaustiveSearch",
     "LocalizedSearch",
     "all_assignments",
+    "score_assignments",
 ]
 
 #: Callable scoring a DD assignment (higher is better, e.g. decoy fidelity).
+#: A scorer may additionally expose ``score_many(assignments) -> List[float]``
+#: to evaluate a whole candidate set as one batch — both search strategies
+#: detect it and hand over entire neighbourhoods at once (the batched decoy
+#: pipeline of :class:`repro.core.adapt.Adapt` relies on this).
 ScoreFunction = Callable[[DDAssignment], float]
+
+
+def score_assignments(
+    score: ScoreFunction, assignments: Sequence[DDAssignment]
+) -> List[float]:
+    """Score candidates via ``score.score_many`` when available, else one by one.
+
+    Evaluation order is preserved either way, so scorers that derive
+    per-evaluation seeds from a running counter produce identical results on
+    both paths.
+    """
+    batch = getattr(score, "score_many", None)
+    if batch is not None:
+        values = list(batch(list(assignments)))
+        if len(values) != len(assignments):
+            raise ValueError(
+                f"score_many returned {len(values)} scores for {len(assignments)} assignments"
+            )
+        return [float(v) for v in values]
+    return [float(score(assignment)) for assignment in assignments]
 
 
 @dataclass(frozen=True)
@@ -87,16 +112,16 @@ class ExhaustiveSearch:
                 f"exhaustive search over {len(qubits)} qubits exceeds the"
                 f" limit of {self.max_qubits} (use LocalizedSearch)"
             )
-        evaluations = []
-        for assignment in all_assignments(qubits):
-            value = float(score(assignment))
-            evaluations.append(
-                ScoredAssignment(
-                    assignment=assignment,
-                    score=value,
-                    bitstring=assignment.to_bitstring(qubits),
-                )
+        candidates = all_assignments(qubits)
+        values = score_assignments(score, candidates)
+        evaluations = [
+            ScoredAssignment(
+                assignment=assignment,
+                score=value,
+                bitstring=assignment.to_bitstring(qubits),
             )
+            for assignment, value in zip(candidates, values)
+        ]
         best = max(evaluations, key=lambda s: s.score).assignment
         return SearchResult(best=best, evaluations=evaluations)
 
@@ -154,13 +179,19 @@ class LocalizedSearch:
         all_qubits = list(qubits)
 
         for group in groups:
-            group_scores: List[Tuple[float, frozenset]] = []
+            # Build the whole neighbourhood first so a batch-capable scorer
+            # evaluates its 2^group_size candidates as one shared-program batch.
+            subsets: List[frozenset] = []
+            candidates: List[DDAssignment] = []
             for bits in itertools.product("01", repeat=len(group)):
-                group_subset = {
+                group_subset = frozenset(
                     q for bit, q in zip(bits, group) if bit == "1"
-                }
-                candidate = DDAssignment(frozenset(selected | group_subset))
-                value = float(score(candidate))
+                )
+                subsets.append(group_subset)
+                candidates.append(DDAssignment(frozenset(selected | group_subset)))
+            values = score_assignments(score, candidates)
+            group_scores: List[Tuple[float, frozenset]] = []
+            for candidate, value, group_subset in zip(candidates, values, subsets):
                 evaluations.append(
                     ScoredAssignment(
                         assignment=candidate,
@@ -168,7 +199,7 @@ class LocalizedSearch:
                         bitstring=candidate.to_bitstring(all_qubits),
                     )
                 )
-                group_scores.append((value, frozenset(group_subset)))
+                group_scores.append((value, group_subset))
             # Conservative estimate: union of the top-k group choices
             # (Section 4.3's "1001" + "1011" -> "1011" example).
             group_scores.sort(key=lambda item: -item[0])

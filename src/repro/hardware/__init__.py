@@ -9,11 +9,20 @@ from .calibration import (
     generate_calibration,
 )
 from .backend import Backend
-from .execution import ExecutionResult, NoisyExecutor
+from .execution import (
+    ExecutionResult,
+    NoisyExecutor,
+    choose_branch,
+    job_sample_rng,
+    job_streams,
+)
+from .batch import BatchExecutor, BatchJob, create_worker_pool, run_jobs_in_processes
 from . import topologies
 
 __all__ = [
     "Backend",
+    "BatchExecutor",
+    "BatchJob",
     "Calibration",
     "CrosstalkEntry",
     "DEVICES",
@@ -22,9 +31,14 @@ __all__ = [
     "LinkCalibration",
     "NoisyExecutor",
     "QubitCalibration",
+    "choose_branch",
+    "create_worker_pool",
     "generate_calibration",
     "get_device",
+    "job_sample_rng",
+    "job_streams",
     "list_devices",
+    "run_jobs_in_processes",
     "synthetic_device",
     "topologies",
 ]

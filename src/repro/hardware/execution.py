@@ -41,7 +41,62 @@ from ..simulators.density_matrix import DensityMatrixSimulator
 from ..simulators.statevector import SimulationError
 from .backend import Backend
 
-__all__ = ["ExecutionResult", "NoisyExecutor"]
+__all__ = [
+    "ExecutionResult",
+    "NoisyExecutor",
+    "job_streams",
+    "job_sample_rng",
+    "choose_branch",
+]
+
+#: Sort priorities of the execution event stream at equal timestamps.  The
+#: batched executor's shared-program template uses the same constants — the
+#: sequential-vs-batch equivalence contract depends on both paths ordering
+#: (and therefore consuming randomness for) events identically.
+WINDOW_NOISE_PRIORITY = 0
+GATE_EVENT_PRIORITY = 1
+GATE_NOISE_PRIORITY = 2
+
+
+def job_streams(
+    seed: int, trajectories: int
+) -> Tuple[List[np.random.Generator], np.random.Generator]:
+    """Derive the RNG streams of one seeded execution job.
+
+    Both the sequential (:meth:`NoisyExecutor.run` with ``seed=``) and the
+    batched (:class:`~repro.hardware.batch.BatchExecutor`) paths draw from
+    streams produced by this function, which is what makes their results agree
+    under a fixed seed: one independent child stream per trajectory (consumed
+    in event order within the trajectory) plus one stream for sampling the
+    final measurement counts.
+    """
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(trajectories + 1)
+    streams = [np.random.default_rng(child) for child in children[:trajectories]]
+    return streams, np.random.default_rng(children[-1])
+
+
+def job_sample_rng(seed: int, trajectories: int) -> np.random.Generator:
+    """Only the sampling stream of :func:`job_streams`.
+
+    Lets density-matrix jobs (which never touch the per-trajectory streams)
+    skip instantiating ``trajectories`` generators while drawing counts from
+    the exact same child stream.
+    """
+    children = np.random.SeedSequence(seed).spawn(trajectories + 1)
+    return np.random.default_rng(children[-1])
+
+
+def choose_branch(rng: np.random.Generator, cumulative: np.ndarray) -> int:
+    """Pick a branch index from cumulative probabilities with ONE uniform draw.
+
+    The single-draw protocol (rather than ``Generator.choice``) is shared by
+    the sequential and batched engines so that both consume per-trajectory
+    streams identically.
+    """
+    u = rng.random()
+    index = int(np.searchsorted(cumulative, u, side="right"))
+    return min(index, len(cumulative) - 1)
 
 
 @dataclass
@@ -94,6 +149,7 @@ class NoisyExecutor:
         engine: str = "auto",
         include_idle_noise: bool = True,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> ExecutionResult:
         """Execute a circuit under noise.
 
@@ -107,8 +163,15 @@ class NoisyExecutor:
                 (defaults to the measured qubits in ascending order).
             engine: ``"auto"``, ``"density_matrix"`` or ``"trajectories"``.
             include_idle_noise: disable to isolate gate/readout errors.
+            seed: per-job seed enabling the deterministic stream protocol of
+                :func:`job_streams`.  A seeded run is reproducible on its own
+                (independent of executor state) and agrees with the batched
+                executor's result for the same seed; it overrides ``rng``.
         """
-        rng = rng or self._rng
+        if seed is not None:
+            rng = job_sample_rng(seed, self.trajectories)
+        else:
+            rng = rng or self._rng
         gst = gst or self.backend.schedule(circuit)
         if dd_plan is None:
             assignment = dd_assignment or DDAssignment.none()
@@ -118,11 +181,14 @@ class NoisyExecutor:
         outputs = self._resolve_outputs(circuit, output_qubits, active)
         events = self._build_events(gst, dd_plan, include_idle_noise)
 
-        engine_name = self._select_engine(engine, len(active))
+        engine_name = self._select_engine(engine, len(active), self.dm_qubit_limit)
         if engine_name == "density_matrix":
             probs = self._run_density_matrix(events, len(active), index_of)
         else:
-            probs = self._run_trajectories(events, len(active), index_of, rng)
+            # Per-trajectory streams are only materialized when the
+            # trajectory engine actually runs.
+            streams = job_streams(seed, self.trajectories)[0] if seed is not None else None
+            probs = self._run_trajectories(events, len(active), index_of, rng, streams)
 
         probs = self._marginalize(probs, active, outputs)
         probs = self.backend.gate_noise.apply_readout_error(probs, outputs)
@@ -194,9 +260,9 @@ class NoisyExecutor:
             gate = scheduled.gate
             if gate.is_measurement or gate.is_barrier or gate.is_delay:
                 continue
-            events.append((scheduled.start, 1, "gate", gate))
+            events.append((scheduled.start, GATE_EVENT_PRIORITY, "gate", gate))
             for op in noise_model.gate_noise(gate):
-                events.append((scheduled.start, 2, "noise", op))
+                events.append((scheduled.start, GATE_NOISE_PRIORITY, "noise", op))
 
         if include_idle_noise:
             for window in gst.idle_windows():
@@ -208,18 +274,18 @@ class NoisyExecutor:
                     window.qubit, window.duration, concurrent, train
                 )
                 for op in effect.noise_ops():
-                    events.append((window.end, 0, "noise", op))
+                    events.append((window.end, WINDOW_NOISE_PRIORITY, "noise", op))
 
         events.sort(key=lambda item: (item[0], item[1]))
         return events
 
     @staticmethod
-    def _select_engine(engine: str, num_active: int) -> str:
+    def _select_engine(engine: str, num_active: int, dm_qubit_limit: int = 10) -> str:
         if engine not in ("auto", "density_matrix", "trajectories"):
             raise ValueError(f"unknown engine '{engine}'")
         if engine != "auto":
             return engine
-        return "density_matrix" if num_active <= 10 else "trajectories"
+        return "density_matrix" if num_active <= dm_qubit_limit else "trajectories"
 
     # ------------------------------------------------------------------
     # Density matrix engine
@@ -264,9 +330,12 @@ class NoisyExecutor:
         num_active: int,
         index_of: Dict[int, int],
         rng: np.random.Generator,
+        streams: Optional[List[np.random.Generator]] = None,
     ) -> np.ndarray:
         total = np.zeros(2 ** num_active, dtype=float)
-        for _ in range(self.trajectories):
+        seeded = streams is not None
+        for trajectory in range(self.trajectories):
+            trajectory_rng = streams[trajectory] if seeded else rng
             state = np.zeros((2,) * num_active, dtype=complex)
             state[(0,) * num_active] = 1.0
             for _, _, kind, payload in events:
@@ -279,7 +348,9 @@ class NoisyExecutor:
                 else:
                     op: NoiseOp = payload  # type: ignore[assignment]
                     qubits = [index_of[q] for q in op.qubits]
-                    state = self._apply_noise_sv(state, op, qubits, num_active, rng)
+                    state = self._apply_noise_sv(
+                        state, op, qubits, num_active, trajectory_rng, seeded
+                    )
             probs = np.abs(state.reshape(-1)) ** 2
             total += probs / probs.sum()
         total /= self.trajectories
@@ -304,6 +375,7 @@ class NoisyExecutor:
         qubits: Sequence[int],
         n: int,
         rng: np.random.Generator,
+        seeded: bool = False,
     ) -> np.ndarray:
         if op.kind == "rz":
             return self._apply_unitary_sv(state, rz_matrix(float(op.payload)), qubits, n)
@@ -319,7 +391,10 @@ class NoisyExecutor:
         mixed = self._mixed_unitary_form(kraus)
         if mixed is not None:
             probabilities, unitaries = mixed
-            choice = rng.choice(len(unitaries), p=probabilities)
+            if seeded:
+                choice = choose_branch(rng, np.cumsum(probabilities))
+            else:
+                choice = rng.choice(len(unitaries), p=probabilities)
             unitary = unitaries[choice]
             if unitary is None:  # identity branch
                 return state
@@ -337,7 +412,10 @@ class NoisyExecutor:
         total = weights_arr.sum()
         if total <= 0:
             return state
-        choice = rng.choice(len(branches), p=weights_arr / total)
+        if seeded:
+            choice = choose_branch(rng, np.cumsum(weights_arr / total))
+        else:
+            choice = rng.choice(len(branches), p=weights_arr / total)
         selected = branches[choice]
         norm = math.sqrt(weights_arr[choice])
         return selected / norm if norm > 0 else state

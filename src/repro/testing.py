@@ -1,0 +1,53 @@
+"""Shared helpers for the test-suite and the paper-reproduction harness.
+
+Kept inside the installed package (rather than in a ``conftest.py``) so they
+stay importable under pytest's ``importlib`` import mode, where test
+directories are never inserted into ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .circuits.circuit import QuantumCircuit
+
+__all__ = ["FULL_RUN", "scale", "print_section", "random_single_qubit_circuit"]
+
+#: Set ``REPRO_FULL=1`` to run the benchmark harness at full paper-scale
+#: budgets instead of the fast laptop configuration.
+FULL_RUN = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+
+def scale(fast_value, full_value):
+    """Pick the fast or full value for a budget knob."""
+    return full_value if FULL_RUN else fast_value
+
+
+def print_section(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def random_single_qubit_circuit(
+    num_qubits: int, depth: int, rng: np.random.Generator, clifford_only: bool = False
+) -> QuantumCircuit:
+    """Random circuit generator used by several test modules."""
+    circuit = QuantumCircuit(num_qubits, name="random")
+    clifford_gates = ["x", "y", "z", "h", "s", "sdg", "sx"]
+    generic_gates = clifford_gates + ["t", "tdg"]
+    names = clifford_gates if clifford_only else generic_gates
+    for _ in range(depth):
+        kind = rng.random()
+        if kind < 0.35 and num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        elif kind < 0.5 and not clifford_only:
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(num_qubits)))
+        else:
+            name = names[int(rng.integers(len(names)))]
+            circuit.add(name, [int(rng.integers(num_qubits))])
+    return circuit

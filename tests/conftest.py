@@ -65,22 +65,5 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(2021)
 
 
-def random_single_qubit_circuit(
-    num_qubits: int, depth: int, rng: np.random.Generator, clifford_only: bool = False
-) -> QuantumCircuit:
-    """Helper used by several test modules to build random circuits."""
-    circuit = QuantumCircuit(num_qubits, name="random")
-    clifford_gates = ["x", "y", "z", "h", "s", "sdg", "sx"]
-    generic_gates = clifford_gates + ["t", "tdg"]
-    names = clifford_gates if clifford_only else generic_gates
-    for _ in range(depth):
-        kind = rng.random()
-        if kind < 0.35 and num_qubits >= 2:
-            a, b = rng.choice(num_qubits, size=2, replace=False)
-            circuit.cx(int(a), int(b))
-        elif kind < 0.5 and not clifford_only:
-            circuit.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(num_qubits)))
-        else:
-            name = names[int(rng.integers(len(names)))]
-            circuit.add(name, [int(rng.integers(num_qubits))])
-    return circuit
+# random_single_qubit_circuit lives in repro.testing so test modules can
+# import it under pytest's importlib import mode.

@@ -1,0 +1,301 @@
+"""Tests for the batched execution subsystem: equivalence, caching, workers."""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import Adapt, AdaptConfig, ExhaustiveSearch, LocalizedSearch
+from repro.core.evaluation import compiled_ideal_distribution, evaluate_policies
+from repro.core.policies import AllDDPolicy, NoDDPolicy, RuntimeBestPolicy
+from repro.core.search import score_assignments
+from repro.dd import DDAssignment
+from repro.hardware import (
+    Backend,
+    BatchExecutor,
+    BatchJob,
+    NoisyExecutor,
+    job_streams,
+    run_jobs_in_processes,
+)
+from repro.hardware.batch import process_cache_stats
+from repro.transpiler import transpile
+from repro.workloads import qft_benchmark
+
+
+def probe_circuit(num_qubits, idle_qubit, theta, cnot_link, repetitions):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.ry(theta, idle_qubit)
+    circuit.barrier(idle_qubit, *cnot_link)
+    for _ in range(repetitions):
+        circuit.cx(*cnot_link)
+    circuit.barrier(idle_qubit, *cnot_link)
+    circuit.ry(-theta, idle_qubit)
+    circuit.measure(idle_qubit)
+    return circuit
+
+
+ASSIGNMENTS = [
+    DDAssignment.none(),
+    DDAssignment.all([0]),
+    DDAssignment.all([0, 1, 3]),
+]
+SEEDS = [101, 202, 303]
+
+
+def assert_distributions_close(sequential, batched, atol=1e-9):
+    keys = set(sequential.probabilities) | set(batched.probabilities)
+    for key in keys:
+        a = sequential.probabilities.get(key, 0.0)
+        b = batched.probabilities.get(key, 0.0)
+        assert a == pytest.approx(b, abs=atol)
+
+
+class TestSeededEquivalence:
+    """The sequential-vs-batch contract of docs/architecture.md."""
+
+    @pytest.mark.parametrize("engine", ["density_matrix", "trajectories"])
+    def test_batch_matches_sequential_seeded_run(self, london_backend, engine):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 12)
+        sequential = NoisyExecutor(london_backend, trajectories=40)
+        batch = BatchExecutor(london_backend, trajectories=40)
+        batched = batch.run_assignments(
+            circuit, ASSIGNMENTS, shots=500, seeds=SEEDS, engine=engine
+        )
+        for assignment, seed, result in zip(ASSIGNMENTS, SEEDS, batched):
+            reference = sequential.run(
+                circuit,
+                dd_assignment=assignment,
+                shots=500,
+                seed=seed,
+                engine=engine,
+            )
+            assert_distributions_close(reference, result)
+            assert reference.counts == result.counts
+            assert reference.dd_pulse_count == result.dd_pulse_count
+            assert reference.output_qubits == result.output_qubits
+            assert reference.engine == result.engine == engine
+
+    def test_seeded_sequential_run_is_self_contained(self, london_backend):
+        """run(seed=...) does not depend on (or disturb) the executor stream."""
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 6)
+        executor = NoisyExecutor(london_backend, seed=99, trajectories=30)
+        executor.run(circuit, shots=200)  # advance the legacy stream
+        first = executor.run(circuit, shots=200, seed=42, engine="trajectories")
+        second = executor.run(circuit, shots=200, seed=42, engine="trajectories")
+        assert first.counts == second.counts
+        assert first.probabilities == second.probabilities
+
+    def test_job_streams_are_stable(self):
+        streams_a, sample_a = job_streams(13, 3)
+        streams_b, sample_b = job_streams(13, 3)
+        for a, b in zip(streams_a, streams_b):
+            assert a.random() == b.random()
+        assert sample_a.integers(1 << 30) == sample_b.integers(1 << 30)
+
+    def test_batch_respects_output_qubit_order(self, london_backend):
+        circuit = QuantumCircuit(5).x(1).measure(1).measure(2)
+        batch = BatchExecutor(london_backend)
+        forward, reverse = batch.run_batch(
+            circuit,
+            [
+                BatchJob(shots=128, seed=5, output_qubits=(1, 2)),
+                BatchJob(shots=128, seed=5, output_qubits=(2, 1)),
+            ],
+        )
+        assert forward.most_probable() == "10"
+        assert reverse.most_probable() == "01"
+
+
+class TestCaching:
+    def test_shared_program_cache_hits(self, london_backend):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 6)
+        batch = BatchExecutor(london_backend)
+        gst = london_backend.schedule(circuit)
+        batch.run_assignments(circuit, ASSIGNMENTS, shots=64, seeds=SEEDS, gst=gst)
+        assert batch.stats["program_compiles"] == 1
+        assert batch.stats["program_hits"] == 0
+        batch.run_assignments(circuit, ASSIGNMENTS, shots=64, seeds=SEEDS, gst=gst)
+        assert batch.stats["program_compiles"] == 1
+        assert batch.stats["program_hits"] == 1
+
+    def test_program_cache_keyed_by_circuit_without_gst(self, london_backend):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 6)
+        batch = BatchExecutor(london_backend)
+        batch.run_assignments(circuit, ASSIGNMENTS, shots=64, seeds=SEEDS)
+        batch.run_assignments(circuit, ASSIGNMENTS, shots=64, seeds=SEEDS)
+        assert batch.stats["program_compiles"] == 1
+        assert batch.stats["program_hits"] == 1
+
+    def test_process_level_gate_matrix_cache_populated(self, london_backend):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 3)
+        BatchExecutor(london_backend).run_batch(circuit, [BatchJob(shots=32, seed=1)])
+        assert process_cache_stats()["gate_matrices"] > 0
+
+    def test_pickling_drops_program_cache(self, london_backend):
+        import pickle
+
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 3)
+        batch = BatchExecutor(london_backend)
+        batch.run_batch(circuit, [BatchJob(shots=32, seed=1)])
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone._programs == {}
+        assert clone.backend.name == london_backend.name
+
+
+class TestWorkers:
+    def test_worker_count_does_not_change_results(self, london_backend):
+        circuit = probe_circuit(5, 0, math.pi / 2, (1, 3), 12)
+        jobs = [
+            BatchJob(dd_assignment=a, shots=400, seed=s, engine="trajectories")
+            for a, s in zip(ASSIGNMENTS, SEEDS)
+        ]
+        options = {"trajectories": 30}
+        serial = run_jobs_in_processes(
+            london_backend, circuit, jobs, 1, executor_options=options
+        )
+        parallel = run_jobs_in_processes(
+            london_backend, circuit, jobs, 2, executor_options=options
+        )
+        for a, b in zip(serial, parallel):
+            assert a.counts == b.counts
+            assert a.probabilities == b.probabilities
+
+
+class TestSearchBatchProtocol:
+    def test_score_many_is_used_when_available(self):
+        calls = []
+
+        class Scorer:
+            def __call__(self, assignment):
+                raise AssertionError("batch path should be preferred")
+
+            def score_many(self, assignments):
+                calls.append(len(assignments))
+                return [float(len(a.qubits)) for a in assignments]
+
+        result = ExhaustiveSearch().run([0, 1, 2], Scorer())
+        assert calls == [8]
+        assert result.best.qubits == frozenset({0, 1, 2})
+
+    def test_localized_search_batches_per_neighbourhood(self):
+        batches = []
+
+        class Scorer:
+            def __call__(self, assignment):
+                return self.score_many([assignment])[0]
+
+            def score_many(self, assignments):
+                batches.append(len(assignments))
+                return [0.5] * len(assignments)
+
+        LocalizedSearch(group_size=2).run(range(4), Scorer())
+        assert batches == [4, 4]
+
+    def test_score_many_length_mismatch_rejected(self):
+        class Broken:
+            def score_many(self, assignments):
+                return [0.0]
+
+        with pytest.raises(ValueError):
+            score_assignments(Broken(), [DDAssignment.none(), DDAssignment.all([1])])
+
+
+class TestAdaptBatched:
+    @pytest.fixture(scope="class")
+    def compiled_qft(self):
+        backend = Backend.from_name("ibmq_rome", cycle=0)
+        return backend, transpile(qft_benchmark(4, "A"), backend)
+
+    def test_batched_selection_matches_sequential(self, compiled_qft):
+        backend, compiled = compiled_qft
+        executor = NoisyExecutor(backend, trajectories=40)
+        config = AdaptConfig(decoy_shots=256, group_size=2)
+        batched = Adapt(executor, config=config, seed=11).select(compiled)
+        sequential = Adapt(
+            executor, config=replace(config, use_batch=False), seed=11
+        ).select(compiled)
+        assert batched.assignment == sequential.assignment
+        assert batched.bitstring == sequential.bitstring
+        for a, b in zip(batched.search.evaluations, sequential.search.evaluations):
+            assert a.bitstring == b.bitstring
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+
+    def test_worker_fanout_matches_in_process(self, compiled_qft):
+        backend, compiled = compiled_qft
+        executor = NoisyExecutor(backend, trajectories=40)
+        config = AdaptConfig(decoy_shots=256, group_size=2)
+        local = Adapt(executor, config=config, seed=11).select(compiled)
+        fanned = Adapt(
+            executor, config=replace(config, n_workers=2), seed=11
+        ).select(compiled)
+        assert local.assignment == fanned.assignment
+        for a, b in zip(local.search.evaluations, fanned.search.evaluations):
+            assert a.score == b.score
+
+    def test_selection_is_deterministic_across_calls(self, compiled_qft):
+        backend, compiled = compiled_qft
+        executor = NoisyExecutor(backend, trajectories=40)
+        adapt = Adapt(executor, config=AdaptConfig(decoy_shots=256, group_size=2), seed=3)
+        assert adapt.select(compiled).bitstring == adapt.select(compiled).bitstring
+
+
+class TestEvaluationBatched:
+    def test_evaluate_policies_with_batch_executor(self, rome_backend):
+        from repro.workloads import bernstein_vazirani
+
+        compiled = transpile(bernstein_vazirani(4), rome_backend)
+        executor = NoisyExecutor(rome_backend, seed=5, trajectories=40)
+        batch = BatchExecutor(rome_backend, trajectories=40)
+        policies = [NoDDPolicy(), AllDDPolicy()]
+        first = evaluate_policies(
+            compiled, policies, executor, shots=512, batch_executor=batch, seed=5
+        )
+        second = evaluate_policies(
+            compiled, policies, executor, shots=512, batch_executor=batch, seed=5
+        )
+        assert first.outcomes["no_dd"].fidelity == second.outcomes["no_dd"].fidelity
+        assert first.outcomes["all_dd"].fidelity == second.outcomes["all_dd"].fidelity
+        assert first.outcomes["no_dd"].relative_fidelity == pytest.approx(1.0)
+
+    def test_policy_fanout_matches_serial(self, rome_backend):
+        from repro.workloads import bernstein_vazirani
+
+        compiled = transpile(bernstein_vazirani(4), rome_backend)
+        executor = NoisyExecutor(rome_backend, seed=5, trajectories=40)
+        batch = BatchExecutor(rome_backend, trajectories=40)
+
+        def fresh_policies():
+            # RuntimeBestPolicy samples candidates from an internal stream, so
+            # each evaluation gets its own identically-seeded policy objects.
+            return [
+                NoDDPolicy(),
+                AllDDPolicy(),
+                RuntimeBestPolicy(
+                    executor,
+                    compiled_ideal_distribution,
+                    shots=256,
+                    max_exhaustive_qubits=2,
+                    max_evaluations=4,
+                    seed=5,
+                    batch_executor=batch,
+                ),
+            ]
+
+        serial = evaluate_policies(
+            compiled, fresh_policies(), executor, shots=512, batch_executor=batch, seed=5
+        )
+        fanned = evaluate_policies(
+            compiled,
+            fresh_policies(),
+            executor,
+            shots=512,
+            n_workers=2,
+            batch_executor=batch,
+            seed=5,
+        )
+        for name in serial.outcomes:
+            assert serial.outcomes[name].assignment.qubits == fanned.outcomes[name].assignment.qubits
+            assert serial.outcomes[name].fidelity == fanned.outcomes[name].fidelity

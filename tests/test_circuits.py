@@ -8,7 +8,7 @@ import pytest
 from repro.circuits import CircuitDAG, CircuitError, Gate, QuantumCircuit, circuit_layers
 from repro.simulators import StatevectorSimulator
 
-from conftest import random_single_qubit_circuit
+from repro.testing import random_single_qubit_circuit
 
 
 class TestBuilder:

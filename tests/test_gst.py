@@ -7,7 +7,7 @@ from repro.core import GateSequenceTable
 from repro.simulators import StatevectorSimulator
 import numpy as np
 
-from conftest import random_single_qubit_circuit
+from repro.testing import random_single_qubit_circuit
 
 
 def simple_durations(gate: Gate) -> float:

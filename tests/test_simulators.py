@@ -17,7 +17,7 @@ from repro.simulators import (
 )
 from repro.simulators import channels
 
-from conftest import random_single_qubit_circuit
+from repro.testing import random_single_qubit_circuit
 
 
 def as_dict(probabilities: np.ndarray, num_qubits: int) -> dict:

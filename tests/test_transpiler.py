@@ -23,7 +23,7 @@ from repro.transpiler import (
 )
 from repro.workloads import bernstein_vazirani, ghz, qaoa_benchmark, qft_benchmark
 
-from conftest import random_single_qubit_circuit
+from repro.testing import random_single_qubit_circuit
 
 
 def equivalent_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
