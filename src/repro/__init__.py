@@ -5,10 +5,13 @@ scratch in Python:
 
 * :mod:`repro.circuits` — circuit IR (gates, circuits, dependency DAGs);
 * :mod:`repro.simulators` — statevector, density-matrix, stabilizer and
-  extended-stabilizer engines plus Kraus channels;
+  extended-stabilizer simulators, Kraus channels, and the pluggable
+  execution-engine registry (density matrix, trajectories, Clifford
+  stabilizer fast path);
 * :mod:`repro.hardware` — IBMQ device models, calibration snapshots, the
-  noisy executor and the batched executor (shared-GST caching, stacked
-  engines, multi-process fan-out);
+  compiled-program layer (:class:`~repro.hardware.program.CompiledNoisyProgram`)
+  and the two executor front-ends that share it (sequential facade + batched
+  executor with multi-process fan-out);
 * :mod:`repro.noise` — gate/readout noise and the idle-window noise model
   (crosstalk, DD refocusing, DD pulse cost);
 * :mod:`repro.transpiler` — basis decomposition, noise-adaptive layout, SABRE
@@ -47,6 +50,7 @@ from .hardware import (
     Backend,
     BatchExecutor,
     BatchJob,
+    CompiledNoisyProgram,
     NoisyExecutor,
     get_device,
     list_devices,
@@ -70,6 +74,7 @@ __all__ = [
     "Backend",
     "BatchExecutor",
     "BatchJob",
+    "CompiledNoisyProgram",
     "CompiledProgram",
     "DDAssignment",
     "DDPlan",

@@ -14,6 +14,12 @@ These drivers reproduce the paper's idling-error characterisation:
   (Figure 6).
 * :func:`pulse_type_study` — XY4 vs IBMQ-DD vs free evolution as the idle time
   grows (Figure 16(d)).
+
+All probes execute through the unified execution core: the executor's
+compile cache means the free / XY4 / IBMQ-DD runs of one probe circuit share
+a single :class:`~repro.hardware.program.CompiledNoisyProgram` (the schedule,
+event template and idle-window variants are built once per probe, not once
+per run).
 """
 
 from __future__ import annotations
@@ -125,6 +131,10 @@ def idle_qubit_fidelity(
         dd_sequence=dd_sequence or "xy4",
         shots=shots,
         output_qubits=[idle_qubit],
+        # Characterization is a measurement context: stay on the exact dense
+        # engines (today's ry probes never qualify for the stabilizer fast
+        # path anyway, but a future Clifford probe must not silently switch).
+        engine="auto_dense",
     )
     return result.probabilities.get("0", 0.0)
 

@@ -56,6 +56,14 @@ class EvaluationConfig:
     seed: int = 7
     adapt_decoy_kind: str = "sdc"
     adapt_group_size: int = 4
+    #: Execution engine for decoy scoring (a ranking context): ``"auto"``
+    #: resolves through the shared registry policy, i.e. the stabilizer fast
+    #: path for Clifford decoys and the dense engines otherwise.
+    engine: str = "auto"
+    #: Execution engine for the final per-policy executions (the *measured*
+    #: fidelities of Figures 13-15 / Table 5): ``"auto_dense"`` keeps them on
+    #: the exact dense engines even for Clifford benchmarks.
+    final_engine: str = "auto_dense"
     #: Route decoy scoring, the Runtime-Best oracle and the final policy
     #: executions through a shared :class:`BatchExecutor`.
     use_batch: bool = True
@@ -88,6 +96,7 @@ def run_policy_comparison(
         decoy_kind=config.adapt_decoy_kind,
         group_size=config.adapt_group_size,
         decoy_shots=config.decoy_shots,
+        engine=config.engine,
         use_batch=config.use_batch,
         # Policies are fanned out at the evaluation level; keep decoy scoring
         # in-process inside each worker to avoid nested pools.
@@ -101,6 +110,8 @@ def run_policy_comparison(
         include_runtime_best=config.include_runtime_best,
         seed=config.seed,
         batch_executor=batch_executor,
+        # One scoring engine for both ADAPT's decoys and the oracle sweep.
+        engine=config.engine,
     )
     for policy in policies:
         if hasattr(policy, "max_evaluations"):
@@ -115,6 +126,7 @@ def run_policy_comparison(
         n_workers=config.n_workers,
         batch_executor=batch_executor,
         seed=config.seed,
+        engine=config.final_engine,
     )
 
 

@@ -7,6 +7,15 @@
   same error rates but all-to-all connectivity.
 * Table 1: program latency, per-qubit idle fraction and No-DD / All-DD
   fidelity of three 5-qubit workloads on IBMQ-Rome.
+
+The drivers execute through the unified execution core: the four DD options
+of Figure 1 (and the No-DD / All-DD pair of Table 1) run against one cached
+:class:`~repro.hardware.program.CompiledNoisyProgram` per circuit.  These are
+*measurement* contexts — the fidelities are the reported results — so every
+execution pins ``engine="auto_dense"``: even the Clifford motivation example
+stays on the exact dense engines rather than the Pauli-twirled stabilizer
+fast path (which is reserved for scoring/ranking contexts such as decoy
+scoring).
 """
 
 from __future__ import annotations
@@ -84,6 +93,7 @@ def figure1_motivation_study(
             shots=shots,
             output_qubits=compiled.output_qubits,
             gst=compiled.gst,
+            engine="auto_dense",
         )
         fidelities[name] = fidelity(ideal, result.probabilities)
     baseline = max(fidelities["no_dd"], 1e-9)
@@ -166,6 +176,7 @@ def table1_idle_fractions(
             shots=shots,
             output_qubits=compiled.output_qubits,
             gst=compiled.gst,
+            engine="auto_dense",
         )
         result_all_dd = executor.run(
             compiled.physical_circuit,
@@ -173,6 +184,7 @@ def table1_idle_fractions(
             shots=shots,
             output_qubits=compiled.output_qubits,
             gst=compiled.gst,
+            engine="auto_dense",
         )
         rows.append(
             {

@@ -13,13 +13,16 @@ compiled program, ADAPT
 
 Decoy scoring is the hot path (up to ``4 * N`` executions of the same decoy
 circuit), so the scorer hands whole neighbourhoods to a
-:class:`~repro.hardware.batch.BatchExecutor`, which shares the Gate Sequence
-Table, the event template and the memoized idle-window noise across the
-batch, and can fan candidates out over worker processes
-(``AdaptConfig.n_workers``).  Every decoy evaluation runs under its own seed
-derived from the ADAPT seed and the evaluation index, so selections are
-bit-identical across the batched path, the sequential fallback
-(``use_batch=False``) and any worker count.
+:class:`~repro.hardware.batch.BatchExecutor`, which compiles the decoy once
+into a :class:`~repro.hardware.program.CompiledNoisyProgram` (Gate Sequence
+Table, event template, memoized idle-window noise) shared across the batch,
+and can fan candidates out over worker processes (``AdaptConfig.n_workers``).
+For Clifford decoys (``decoy_kind="cdc"``) the registry's ``"auto"`` policy
+routes scoring through the stabilizer fast path — the paper's Insight #1
+made executable.  Every decoy evaluation runs under its own seed derived
+from the ADAPT seed and the evaluation index, so selections are bit-identical
+across the batched path, the sequential fallback (``use_batch=False``) and
+any worker count.
 """
 
 from __future__ import annotations
@@ -68,6 +71,10 @@ class AdaptConfig:
     decoy_shots: int = 2048
     max_seed_qubits: int = 8
     min_idle_window_ns: Optional[float] = None
+    #: Engine for decoy executions: ``"auto"`` (default) lets the registry
+    #: pick — notably the stabilizer Clifford fast path for CDC decoys — or
+    #: any registered engine name to force one.
+    engine: str = "auto"
     #: Score whole neighbourhoods as one shared-program batch (recommended).
     use_batch: bool = True
     #: Worker processes for decoy scoring; 1 = in-process.  Results are
@@ -140,6 +147,7 @@ class _DecoyScorer:
                     shots=config.decoy_shots,
                     output_qubits=self._output_qubits,
                     gst=self._gst,
+                    engine=config.engine,
                     seed=seed,
                 )
                 for assignment, seed in zip(assignments, seeds)
@@ -154,6 +162,7 @@ class _DecoyScorer:
                     shots=config.decoy_shots,
                     seed=seed,
                     output_qubits=self._output_qubits,
+                    engine=config.engine,
                 )
                 for assignment, seed in zip(assignments, seeds)
             ]
@@ -175,6 +184,7 @@ class _DecoyScorer:
                 output_qubits=self._output_qubits,
                 gst=self._gst,
                 seeds=seeds,
+                engine=config.engine,
             )
         return [fidelity(self._ideal, result.probabilities) for result in results]
 

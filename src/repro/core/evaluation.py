@@ -159,6 +159,7 @@ def evaluate_policies(
     n_workers: int = 1,
     batch_executor: Optional["BatchExecutor"] = None,
     seed: Optional[int] = None,
+    engine: str = "auto_dense",
 ) -> BenchmarkEvaluation:
     """Run every policy on a compiled benchmark and compare fidelities.
 
@@ -169,6 +170,11 @@ def evaluate_policies(
             shared-program batch instead of one ``executor.run`` per policy.
         seed: with ``batch_executor``, gives each final execution its own
             deterministic per-policy stream.
+        engine: execution engine for the final per-policy runs.  These are
+            the *measured* fidelities of the evaluation, so the default
+            ``"auto_dense"`` keeps them on the exact dense engines even for
+            Clifford benchmarks; decoy scoring inside the policies is where
+            the stabilizer fast path applies.
     """
     ideal = ideal or compiled_ideal_distribution(compiled)
     gst = compiled.gst
@@ -207,6 +213,7 @@ def evaluate_policies(
             output_qubits=compiled.output_qubits,
             gst=gst,
             seeds=seeds,
+            engine=engine,
         )
     else:
         results = [
@@ -217,6 +224,7 @@ def evaluate_policies(
                 shots=shots,
                 output_qubits=compiled.output_qubits,
                 gst=gst,
+                engine=engine,
                 rng=rng,
             )
             for decision in decisions

@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -130,6 +130,7 @@ class RuntimeBestPolicy(Policy):
         max_evaluations: int = 64,
         seed: Optional[int] = None,
         batch_executor: Optional["BatchExecutor"] = None,
+        engine: str = "auto",
     ) -> None:
         self.executor = executor
         self.ideal_distribution = ideal_distribution
@@ -138,6 +139,7 @@ class RuntimeBestPolicy(Policy):
         self.max_exhaustive_qubits = int(max_exhaustive_qubits)
         self.max_evaluations = int(max_evaluations)
         self.batch_executor = batch_executor
+        self.engine = engine
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
@@ -179,6 +181,7 @@ class RuntimeBestPolicy(Policy):
                 output_qubits=compiled.output_qubits,
                 gst=gst,
                 seeds=seeds,
+                engine=self.engine,
             )
         else:
             results = [
@@ -189,6 +192,7 @@ class RuntimeBestPolicy(Policy):
                     shots=self.shots,
                     output_qubits=compiled.output_qubits,
                     gst=gst,
+                    engine=self.engine,
                     rng=self._rng,
                 )
                 for assignment in candidates
@@ -216,14 +220,20 @@ def standard_policies(
     include_runtime_best: bool = True,
     seed: Optional[int] = None,
     batch_executor: Optional["BatchExecutor"] = None,
+    engine: Optional[str] = None,
 ) -> List[Policy]:
     """The evaluation's four policies, in the paper's order.
 
     ``batch_executor`` is shared by ADAPT's decoy scoring and the
     Runtime-Best oracle, so all expensive policies reuse one compiled-program
-    cache.
+    cache.  ``engine`` forces one execution engine for *both* scoring
+    policies (ADAPT's decoys and the oracle sweep); the default keeps
+    ``adapt_config``'s engine for ADAPT and ``"auto"`` for the oracle, so the
+    two rank candidates under the registry's per-program policy.
     """
     config = adapt_config or AdaptConfig(dd_sequence=dd_sequence)
+    if engine is not None:
+        config = replace(config, engine=engine)
     policies: List[Policy] = [
         NoDDPolicy(),
         AllDDPolicy(),
@@ -237,6 +247,7 @@ def standard_policies(
                 dd_sequence=dd_sequence,
                 seed=seed,
                 batch_executor=batch_executor,
+                engine=engine if engine is not None else "auto",
             )
         )
     return policies

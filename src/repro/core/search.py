@@ -35,8 +35,11 @@ __all__ = [
 #: Callable scoring a DD assignment (higher is better, e.g. decoy fidelity).
 #: A scorer may additionally expose ``score_many(assignments) -> List[float]``
 #: to evaluate a whole candidate set as one batch — both search strategies
-#: detect it and hand over entire neighbourhoods at once (the batched decoy
-#: pipeline of :class:`repro.core.adapt.Adapt` relies on this).
+#: detect it and hand over entire neighbourhoods at once, so every candidate
+#: of a neighbourhood executes against one cached
+#: :class:`~repro.hardware.program.CompiledNoisyProgram` (the batched decoy
+#: pipeline of :class:`repro.core.adapt.Adapt` relies on this; for Clifford
+#: decoys the whole neighbourhood runs on the stabilizer fast path).
 ScoreFunction = Callable[[DDAssignment], float]
 
 

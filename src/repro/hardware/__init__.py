@@ -9,14 +9,22 @@ from .calibration import (
     generate_calibration,
 )
 from .backend import Backend
+from .program import (
+    CompiledNoisyProgram,
+    ProgramCache,
+    cached_gate_matrix,
+    process_cache_stats,
+)
 from .execution import (
+    BatchJob,
     ExecutionResult,
     NoisyExecutor,
     choose_branch,
+    execute_program_jobs,
     job_sample_rng,
     job_streams,
 )
-from .batch import BatchExecutor, BatchJob, create_worker_pool, run_jobs_in_processes
+from .batch import BatchExecutor, create_worker_pool, run_jobs_in_processes
 from . import topologies
 
 __all__ = [
@@ -24,20 +32,25 @@ __all__ = [
     "BatchExecutor",
     "BatchJob",
     "Calibration",
+    "CompiledNoisyProgram",
     "CrosstalkEntry",
     "DEVICES",
     "DeviceSpec",
     "ExecutionResult",
     "LinkCalibration",
     "NoisyExecutor",
+    "ProgramCache",
     "QubitCalibration",
+    "cached_gate_matrix",
     "choose_branch",
     "create_worker_pool",
+    "execute_program_jobs",
     "generate_calibration",
     "get_device",
     "job_sample_rng",
     "job_streams",
     "list_devices",
+    "process_cache_stats",
     "run_jobs_in_processes",
     "synthetic_device",
     "topologies",

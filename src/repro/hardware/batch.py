@@ -6,25 +6,22 @@ same Gate Sequence Table, same gate noise — only the idle windows of the
 candidate's qubits change.  :class:`BatchExecutor` exploits that structure:
 
 * the schedule, the active-qubit set, the time-ordered event template, the
-  gate unitaries and the gate-noise channels are computed **once per compiled
-  program** and shared by every job (the ``_SharedProgram``);
+  gate unitaries and the gate-noise channels are compiled **once per program**
+  into a :class:`~repro.hardware.program.CompiledNoisyProgram` and shared by
+  every job;
 * each idle window has at most a handful of *variants* (unprotected, or
   protected by one DD protocol), so the calibration-derived
   :class:`~repro.noise.idling.IdleWindowEffect` of every variant is memoized
-  and re-used across jobs;
-* the density-matrix engine stacks all jobs of a batch into one array and
-  applies each shared event with a single einsum contraction instead of one
-  Python-level operator loop per job;
-* the trajectory engine evolves all ``jobs x trajectories`` statevectors
-  together, drawing randomness from per-job, per-trajectory seeded streams
-  (:func:`~repro.hardware.execution.job_streams`) so results are reproducible
-  and independent of how jobs are grouped into batches or worker processes.
+  on the program and re-used across jobs;
+* all jobs of a batch execute together through the engine registry of
+  :mod:`repro.simulators.engines` (stacked density matrices, vectorized
+  trajectories, or the Clifford stabilizer fast path), drawing randomness
+  from per-job seeded streams so results are reproducible and independent of
+  how jobs are grouped into batches or worker processes.
 
-The equivalence contract (see ``docs/architecture.md``): a job executed with
-``BatchExecutor`` and seed ``s`` produces the same output distribution as
-``NoisyExecutor.run(..., seed=s)`` up to floating-point re-association
-(einsum versus per-operator tensordot), which in practice agrees to ~1e-12
-and yields identical ADAPT selections.
+The equivalence contract (see ``docs/architecture.md``) is true by
+construction since the unified-execution refactor: ``NoisyExecutor.run`` is a
+batch of one through the exact same compiled program and engines.
 """
 
 from __future__ import annotations
@@ -32,363 +29,43 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import multiprocessing
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gates import gate_matrix, rx_matrix, rz_matrix
-from ..core.gst import GateSequenceTable, IdleWindow
+from ..core.gst import GateSequenceTable
 from ..dd.insertion import DDAssignment
-from ..dd.sequences import get_sequence
-from ..noise.model import NoiseOp
-from ..simulators import channels
-from ..simulators.statevector import SimulationError
 from .backend import Backend
 from .execution import (
-    GATE_EVENT_PRIORITY,
-    GATE_NOISE_PRIORITY,
-    WINDOW_NOISE_PRIORITY,
+    BatchJob,
     ExecutionResult,
-    NoisyExecutor,
-    choose_branch,
-    job_sample_rng,
-    job_streams,
+    ProgramCompilerMixin,
+    execute_program_jobs,
 )
+from .program import cached_gate_matrix, process_cache_stats
 
-__all__ = ["BatchJob", "BatchExecutor", "run_jobs_in_processes"]
-
-
-# ---------------------------------------------------------------------------
-# Process-level caches (gate unitaries, parametric rotations)
-# ---------------------------------------------------------------------------
-
-_GATE_MATRIX_CACHE: Dict[Tuple[str, Tuple[float, ...]], np.ndarray] = {}
-_ROTATION_CACHE: Dict[Tuple[str, float], np.ndarray] = {}
-
-
-def cached_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
-    """Process-level memoized :func:`~repro.circuits.gates.gate_matrix`."""
-    key = (name, tuple(float(p) for p in params))
-    matrix = _GATE_MATRIX_CACHE.get(key)
-    if matrix is None:
-        matrix = gate_matrix(name, params)
-        matrix.setflags(write=False)
-        _GATE_MATRIX_CACHE[key] = matrix
-    return matrix
+__all__ = [
+    "BatchJob",
+    "BatchExecutor",
+    "run_jobs_in_processes",
+    "create_worker_pool",
+    "cached_gate_matrix",
+    "process_cache_stats",
+]
 
 
-def _cached_rotation(kind: str, angle: float) -> np.ndarray:
-    key = (kind, float(angle))
-    matrix = _ROTATION_CACHE.get(key)
-    if matrix is None:
-        matrix = rz_matrix(angle) if kind == "rz" else rx_matrix(angle)
-        matrix.setflags(write=False)
-        _ROTATION_CACHE[key] = matrix
-    return matrix
-
-
-def process_cache_stats() -> Dict[str, int]:
-    """Sizes of the process-level caches (useful for diagnostics/tests)."""
-    return {
-        "gate_matrices": len(_GATE_MATRIX_CACHE),
-        "rotations": len(_ROTATION_CACHE),
-    }
-
-
-# ---------------------------------------------------------------------------
-# Jobs
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class BatchJob:
-    """One execution of the shared program under a DD candidate.
-
-    ``seed`` drives the deterministic stream protocol of
-    :func:`~repro.hardware.execution.job_streams`; jobs with explicit seeds
-    produce identical results regardless of batch composition or worker
-    count.  ``tag`` is carried through untouched for caller bookkeeping.
-    """
-
-    dd_assignment: Optional[DDAssignment] = None
-    dd_sequence: str = "xy4"
-    shots: int = 4096
-    seed: Optional[int] = None
-    output_qubits: Optional[Tuple[int, ...]] = None
-    engine: str = "auto"
-    include_idle_noise: bool = True
-    tag: Optional[object] = None
-
-
-# ---------------------------------------------------------------------------
-# Resolved operators
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _ResolvedOp:
-    """A noise/gate operation pre-resolved into engine-ready tensors.
-
-    ``superop`` is the channel's superoperator ``sum_m K_m (x) conj(K_m)``
-    reshaped into a ``(2,)*(4k)`` tensor whose legs are ordered
-    ``(row_out..., col_out..., row_in..., col_in...)``: the density-matrix
-    engine applies any channel (unitary, Kraus, Gaussian dephasing) as ONE
-    BLAS-backed contraction over the row+col legs of the whole batch, instead
-    of one Python-level Kraus loop per job.
-    """
-
-    kind: str                       # "unitary" | "kraus" | "gaussian"
-    positions: Tuple[int, ...]      # active-space qubit positions
-    tensor: Optional[np.ndarray] = None        # unitary tensor (2,)*2k
-    kraus_stack: Optional[np.ndarray] = None   # (m,) + (2,)*2k
-    std: float = 0.0                           # gaussian_phase std-dev
-    superop: Optional[np.ndarray] = None       # (2,)*(4k) superoperator
-    # mixed-unitary decomposition for the trajectory engine:
-    mixed_cumulative: Optional[np.ndarray] = None
-    mixed_unitaries: Optional[List[Optional[np.ndarray]]] = None
-
-
-def _as_op_tensor(matrix: np.ndarray) -> np.ndarray:
-    k = int(round(math.log2(matrix.shape[0])))
-    return np.ascontiguousarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-
-
-def _superop_tensor(kraus: Sequence[np.ndarray]) -> np.ndarray:
-    dim = kraus[0].shape[0]
-    total = np.zeros((dim * dim, dim * dim), dtype=complex)
-    for operator in kraus:
-        operator = np.asarray(operator, dtype=complex)
-        total += np.kron(operator, operator.conj())
-    k = int(round(math.log2(dim)))
-    return total.reshape((2,) * (4 * k))
-
-
-def _resolve_noise_op(op: NoiseOp, index_of: Dict[int, int]) -> _ResolvedOp:
-    positions = tuple(index_of[q] for q in op.qubits)
-    if op.kind in ("rz", "rx"):
-        matrix = _cached_rotation(op.kind, float(op.payload))
-        return _ResolvedOp(
-            kind="unitary",
-            positions=positions,
-            tensor=_as_op_tensor(matrix),
-            superop=_superop_tensor([matrix]),
-        )
-    if op.kind == "gaussian_phase":
-        sigma = float(op.payload)
-        lam = 1.0 - math.exp(-(sigma ** 2))
-        dm_kraus = channels.phase_damping(min(1.0, lam))
-        return _ResolvedOp(
-            kind="gaussian",
-            positions=positions,
-            std=sigma,
-            superop=_superop_tensor(dm_kraus),
-        )
-    kraus = [np.asarray(k, dtype=complex) for k in op.payload]  # type: ignore[union-attr]
-    if len(kraus) == 1:
-        return _ResolvedOp(
-            kind="unitary",
-            positions=positions,
-            tensor=_as_op_tensor(kraus[0]),
-            superop=_superop_tensor(kraus),
-        )
-    resolved = _ResolvedOp(
-        kind="kraus",
-        positions=positions,
-        kraus_stack=np.stack([_as_op_tensor(k) for k in kraus]),
-        superop=_superop_tensor(kraus),
-    )
-    mixed = NoisyExecutor._mixed_unitary_form(kraus)
-    if mixed is not None:
-        probabilities, unitaries = mixed
-        resolved.mixed_cumulative = np.cumsum(probabilities)
-        resolved.mixed_unitaries = [
-            None if u is None else _as_op_tensor(u) for u in unitaries
-        ]
-    return resolved
-
-
-# ---------------------------------------------------------------------------
-# Batched tensor contractions
-# ---------------------------------------------------------------------------
-
-
-def _apply_operator(state: np.ndarray, op_tensor: np.ndarray, leg_axes: Sequence[int]) -> np.ndarray:
-    """Contract a k-leg operator with the given state axes, axes kept in place.
-
-    Implemented with ``tensordot`` (transpose + one BLAS matmul) rather than
-    ``einsum``, whose generic iterator is an order of magnitude slower on
-    these many-small-axis tensors.
-    """
-    k = len(leg_axes)
-    nd = state.ndim
-    result = np.tensordot(op_tensor, state, axes=(list(range(k, 2 * k)), list(leg_axes)))
-    # tensordot puts the operator's output legs first; move each back to the
-    # axis it replaced.
-    remaining = [a for a in range(nd) if a not in leg_axes]
-    current = {axis: i for i, axis in enumerate(list(leg_axes) + remaining)}
-    perm = [current[a] for a in range(nd)]
-    return np.transpose(result, perm)
-
-
-def _apply_phase_angles(state: np.ndarray, angles: np.ndarray, axis: int) -> np.ndarray:
-    """Apply per-batch-element RZ(angle) to one statevector leg (diagonal)."""
-    stacked = np.stack(
-        [np.exp(-0.5j * angles), np.exp(0.5j * angles)], axis=-1
-    )
-    shape = list(angles.shape) + [1] * (state.ndim - angles.ndim)
-    shape[axis] = 2
-    return state * stacked.reshape(shape)
-
-
-# ---------------------------------------------------------------------------
-# Shared program
-# ---------------------------------------------------------------------------
-
-
-class _SharedProgram:
-    """Everything about one compiled circuit that is invariant across jobs."""
-
-    def __init__(self, backend: Backend, circuit: QuantumCircuit, gst: GateSequenceTable) -> None:
-        self.backend = backend
-        self.circuit = circuit
-        self.gst = gst
-
-        active = set(gst.active_qubits())
-        for gate in circuit:
-            if gate.is_measurement:
-                active.update(gate.qubits)
-        self.active: List[int] = sorted(active)
-        self.index_of: Dict[int, int] = {q: i for i, q in enumerate(self.active)}
-        measured = sorted({g.qubits[0] for g in circuit if g.is_measurement})
-        self.default_outputs: List[int] = measured or list(self.active)
-
-        self.windows: List[IdleWindow] = gst.idle_windows()
-        self.concurrent = [
-            gst.concurrent_cnots(w.start, w.end, exclude_qubit=w.qubit)
-            for w in self.windows
-        ]
-
-        # Event template, ordered exactly like NoisyExecutor._build_events:
-        # same shared priority constants, same gates-then-windows insertion
-        # order under a stable sort, so both paths consume randomness in the
-        # same event order (the equivalence contract).
-        entries: List[Tuple[float, int, int, Tuple[str, object]]] = []
-        order = 0
-        noise_model = backend.gate_noise
-        for scheduled in gst.scheduled_gates:
-            gate = scheduled.gate
-            if gate.is_measurement or gate.is_barrier or gate.is_delay:
-                continue
-            positions = tuple(self.index_of[q] for q in gate.qubits)
-            matrix = cached_gate_matrix(gate.name, gate.params)
-            resolved = _ResolvedOp(
-                kind="unitary",
-                positions=positions,
-                tensor=_as_op_tensor(matrix),
-                superop=_superop_tensor([matrix]),
-            )
-            entries.append((scheduled.start, GATE_EVENT_PRIORITY, order, ("op", resolved)))
-            order += 1
-            for op in noise_model.gate_noise(gate):
-                entries.append(
-                    (
-                        scheduled.start,
-                        GATE_NOISE_PRIORITY,
-                        order,
-                        ("op", _resolve_noise_op(op, self.index_of)),
-                    )
-                )
-                order += 1
-        for widx, window in enumerate(self.windows):
-            entries.append((window.end, WINDOW_NOISE_PRIORITY, order, ("window", widx)))
-            order += 1
-        entries.sort(key=lambda item: (item[0], item[1], item[2]))
-        self.template: List[Tuple[str, object]] = [entry[3] for entry in entries]
-
-        self._sequences: Dict[str, object] = {}
-        self._trains: Dict[Tuple[str, int], Optional[object]] = {}
-        self._window_ops: Dict[Tuple[int, Optional[str]], List[_ResolvedOp]] = {}
-        self._plan_stats: Dict[Tuple[str, frozenset], Tuple[int, int]] = {}
-
-    # -- DD plans ------------------------------------------------------
-
-    def _sequence(self, name: str):
-        sequence = self._sequences.get(name)
-        if sequence is None:
-            sequence = get_sequence(name)
-            self._sequences[name] = sequence
-        return sequence
-
-    def train_for(self, sequence_name: str, widx: int):
-        """The (memoized) pulse train protecting window ``widx``, or ``None``."""
-        key = (sequence_name, widx)
-        if key not in self._trains:
-            sequence = self._sequence(sequence_name)
-            window = self.windows[widx]
-            train = None
-            if window.duration > max(sequence.min_window_ns(), 1e-9):
-                train = sequence.build_train(window.qubit, window.start, window.duration)
-            self._trains[key] = train
-        return self._trains[key]
-
-    def window_ops(self, widx: int, sequence_name: Optional[str]) -> List[_ResolvedOp]:
-        """Noise ops of one idle window under one variant (no-DD or one protocol)."""
-        key = (widx, sequence_name)
-        ops = self._window_ops.get(key)
-        if ops is None:
-            window = self.windows[widx]
-            train = None if sequence_name is None else self.train_for(sequence_name, widx)
-            effect = self.backend.idle_noise.window_effect(
-                window.qubit, window.duration, self.concurrent[widx], train
-            )
-            ops = [_resolve_noise_op(op, self.index_of) for op in effect.noise_ops()]
-            self._window_ops[key] = ops
-        return ops
-
-    def protected_windows(self, assignment: DDAssignment, sequence_name: str) -> List[bool]:
-        return [
-            assignment.enabled(w.qubit) and self.train_for(sequence_name, widx) is not None
-            for widx, w in enumerate(self.windows)
-        ]
-
-    def plan_stats(self, assignment: DDAssignment, sequence_name: str) -> Tuple[int, int]:
-        """(total DD pulses, protected window count) of one candidate plan."""
-        relevant = frozenset(
-            q for q in assignment.qubits if any(w.qubit == q for w in self.windows)
-        )
-        key = (sequence_name, relevant)
-        stats = self._plan_stats.get(key)
-        if stats is None:
-            pulses = 0
-            protected = 0
-            for widx, window in enumerate(self.windows):
-                if window.qubit not in relevant:
-                    continue
-                train = self.train_for(sequence_name, widx)
-                if train is not None:
-                    pulses += train.num_pulses
-                    protected += 1
-            stats = (pulses, protected)
-            self._plan_stats[key] = stats
-        return stats
-
-
-# ---------------------------------------------------------------------------
-# The batch executor
-# ---------------------------------------------------------------------------
-
-
-class BatchExecutor:
+class BatchExecutor(ProgramCompilerMixin):
     """Executes many near-identical jobs over one compiled program.
 
     Args:
         backend: device model + calibration (as for ``NoisyExecutor``).
         dm_qubit_limit: beyond this active-qubit count ``engine="auto"``
-            switches to the trajectory engine.
+            switches to the trajectory engine (Clifford-only programs take
+            the stabilizer fast path first — see
+            :func:`repro.simulators.engines.select_engine`).
         trajectories: Monte-Carlo trajectories per job for the trajectory
             engine (same meaning as in ``NoisyExecutor``).
         base_seed: fallback entropy for jobs submitted without a seed.
@@ -405,61 +82,12 @@ class BatchExecutor:
         memory_budget_bytes: int = 256 * 1024 * 1024,
         max_cached_programs: int = 16,
     ) -> None:
-        self.backend = backend
         self.dm_qubit_limit = int(dm_qubit_limit)
         self.trajectories = int(trajectories)
         self.memory_budget_bytes = int(memory_budget_bytes)
         self.max_cached_programs = max(1, int(max_cached_programs))
         self._fallback_rng = np.random.default_rng(base_seed)
-        self._programs: Dict[int, _SharedProgram] = {}
-        self.stats: Dict[str, int] = {
-            "program_compiles": 0,
-            "program_hits": 0,
-            "jobs_run": 0,
-            "window_variants": 0,
-        }
-
-    def __getstate__(self):
-        # The compiled-program cache is machine-local working state; drop it
-        # when the executor is shipped to a worker process.
-        state = self.__dict__.copy()
-        state["_programs"] = {}
-        return state
-
-    # -- program cache -------------------------------------------------
-
-    def compile(
-        self, circuit: QuantumCircuit, gst: Optional[GateSequenceTable] = None
-    ) -> _SharedProgram:
-        """Build (or fetch from cache) the shared program for a circuit.
-
-        The cache is keyed by the schedule object so repeated batches over the
-        same compiled program — e.g. the neighbourhood sweeps of ADAPT's
-        localized search — share one compiled template.
-        """
-        # The cached program keeps strong references to its gst and circuit,
-        # so the id() keys cannot be recycled while the entry is alive.
-        if gst is not None:
-            key = id(gst)
-            program = self._programs.get(key)
-            if program is not None and program.gst is gst:
-                self.stats["program_hits"] += 1
-                self._programs[key] = self._programs.pop(key)  # LRU refresh
-                return program
-        else:
-            key = id(circuit)
-            program = self._programs.get(key)
-            if program is not None and program.circuit is circuit:
-                self.stats["program_hits"] += 1
-                self._programs[key] = self._programs.pop(key)
-                return program
-            gst = self.backend.schedule(circuit)
-        program = _SharedProgram(self.backend, circuit, gst)
-        self._programs[key] = program
-        while len(self._programs) > self.max_cached_programs:
-            self._programs.pop(next(iter(self._programs)))
-        self.stats["program_compiles"] += 1
-        return program
+        self._init_program_cache(backend, self.max_cached_programs)
 
     # -- public API ----------------------------------------------------
 
@@ -477,42 +105,16 @@ class BatchExecutor:
         if not jobs:
             return []
         program = self.compile(circuit, gst)
-        n = len(program.active)
-
-        groups: Dict[str, List[int]] = {}
-        for j, job in enumerate(jobs):
-            engine = NoisyExecutor._select_engine(job.engine, n, self.dm_qubit_limit)
-            groups.setdefault(engine, []).append(j)
-
-        results: List[Optional[ExecutionResult]] = [None] * len(jobs)
-        for engine, indices in groups.items():
-            state_bytes = (
-                16 * (4 ** n) if engine == "density_matrix" else 16 * self.trajectories * (2 ** n)
-            )
-            chunk = max(1, self.memory_budget_bytes // max(1, state_bytes))
-            for start in range(0, len(indices), chunk):
-                subset = indices[start : start + chunk]
-                sub_jobs = [jobs[j] for j in subset]
-                sub_seeds = [self._job_seed(job) for job in sub_jobs]
-                if engine == "density_matrix":
-                    # Density-matrix jobs never touch the per-trajectory
-                    # streams; materialize only the sampling stream.
-                    sample_rngs = [
-                        job_sample_rng(s, self.trajectories) for s in sub_seeds
-                    ]
-                    probs = self._run_density_matrix_batch(program, sub_jobs)
-                else:
-                    pairs = [job_streams(s, self.trajectories) for s in sub_seeds]
-                    sample_rngs = [pair[1] for pair in pairs]
-                    probs = self._run_trajectories_batch(
-                        program, sub_jobs, [pair[0] for pair in pairs]
-                    )
-                for job, job_probs, j, sample_rng in zip(
-                    sub_jobs, probs, subset, sample_rngs
-                ):
-                    results[j] = self._finalize(program, job, job_probs, engine, sample_rng)
-        self.stats["jobs_run"] += len(jobs)
-        return results  # type: ignore[return-value]
+        return execute_program_jobs(
+            self.backend,
+            program,
+            jobs,
+            trajectories=self.trajectories,
+            dm_qubit_limit=self.dm_qubit_limit,
+            job_seed=self._job_seed,
+            memory_budget_bytes=self.memory_budget_bytes,
+            stats=self.stats,
+        )
 
     def run_assignments(
         self,
@@ -549,24 +151,6 @@ class BatchExecutor:
 
     # -- job bookkeeping -----------------------------------------------
 
-    def _job_variants(
-        self, program: _SharedProgram, job: BatchJob
-    ) -> List[Optional[str]]:
-        """Per-window variant key for one job: ``None`` or the protocol name."""
-        if not job.include_idle_noise:
-            return ["skip"] * len(program.windows)  # type: ignore[list-item]
-        assignment = job.dd_assignment or DDAssignment.none()
-        sequence_name = program._sequence(job.dd_sequence).name
-        protected = program.protected_windows(assignment, sequence_name)
-        return [sequence_name if p else None for p in protected]
-
-    def _window_group_ops(
-        self, program: _SharedProgram, widx: int, variant: Optional[str]
-    ) -> List[_ResolvedOp]:
-        if variant == "skip":
-            return []
-        return program.window_ops(widx, variant)
-
     def _job_seed(self, job: BatchJob) -> int:
         """The job's seed, or a throwaway one from the fallback stream.
 
@@ -577,239 +161,6 @@ class BatchExecutor:
         if job.seed is not None:
             return job.seed
         return int(self._fallback_rng.integers(0, 2 ** 63))
-
-    def _finalize(
-        self,
-        program: _SharedProgram,
-        job: BatchJob,
-        active_probs: np.ndarray,
-        engine: str,
-        sample_rng: np.random.Generator,
-    ) -> ExecutionResult:
-        if job.output_qubits is not None:
-            outputs = [int(q) for q in job.output_qubits]
-        else:
-            outputs = list(program.default_outputs)
-        missing = [q for q in outputs if q not in program.index_of]
-        if missing:
-            raise SimulationError(f"output qubits {missing} never appear in the circuit")
-
-        probs = NoisyExecutor._marginalize(active_probs, program.active, outputs)
-        probs = self.backend.gate_noise.apply_readout_error(probs, outputs)
-        counts = NoisyExecutor._sample(probs, job.shots, len(outputs), sample_rng)
-        prob_dict = {
-            format(i, f"0{len(outputs)}b"): float(p)
-            for i, p in enumerate(probs)
-            if p > 1e-12
-        }
-        assignment = job.dd_assignment or DDAssignment.none()
-        sequence_name = program._sequence(job.dd_sequence).name
-        pulses, protected = program.plan_stats(assignment, sequence_name)
-        return ExecutionResult(
-            counts=counts,
-            probabilities=prob_dict,
-            shots=job.shots,
-            output_qubits=tuple(outputs),
-            engine=engine,
-            total_duration_ns=program.gst.total_duration,
-            dd_pulse_count=pulses,
-            num_active_qubits=len(program.active),
-            metadata={
-                "device": self.backend.name,
-                "calibration_cycle": self.backend.calibration.cycle,
-                "dd_sequence": sequence_name,
-                "protected_windows": protected,
-                "batched": True,
-                "tag": job.tag,
-                "seed": job.seed,
-            },
-        )
-
-    # -- density-matrix engine -----------------------------------------
-
-    def _run_density_matrix_batch(
-        self, program: _SharedProgram, jobs: Sequence[BatchJob]
-    ) -> List[np.ndarray]:
-        n = len(program.active)
-        J = len(jobs)
-        state = np.zeros((J,) + (2,) * (2 * n), dtype=complex)
-        state[(slice(None),) + (0,) * (2 * n)] = 1.0
-        variants = [self._job_variants(program, job) for job in jobs]
-
-        def apply_op(target: np.ndarray, op: _ResolvedOp) -> np.ndarray:
-            rows = [1 + p for p in op.positions]
-            cols = [1 + n + p for p in op.positions]
-            return _apply_operator(target, op.superop, rows + cols)
-
-        for kind, payload in program.template:
-            if kind == "op":
-                state = apply_op(state, payload)  # type: ignore[arg-type]
-                continue
-            widx: int = payload  # type: ignore[assignment]
-            groups: Dict[Optional[str], List[int]] = {}
-            for j in range(J):
-                groups.setdefault(variants[j][widx], []).append(j)
-            for variant, members in groups.items():
-                ops = self._window_group_ops(program, widx, variant)
-                if not ops:
-                    continue
-                self.stats["window_variants"] += 1
-                if len(members) == J:
-                    for op in ops:
-                        state = apply_op(state, op)
-                else:
-                    index = np.array(members)
-                    sub = state[index]
-                    for op in ops:
-                        sub = apply_op(sub, op)
-                    state[index] = sub
-
-        # Diagonal, clipped and renormalised exactly like
-        # DensityMatrixSimulator.probabilities().
-        diag_labels = [0] + list(range(1, n + 1)) + list(range(1, n + 1))
-        diag = np.real(np.einsum(state, diag_labels, [0] + list(range(1, n + 1))))
-        diag = diag.reshape(J, 2 ** n).copy()
-        diag[diag < 0] = 0.0
-        results = []
-        for j in range(J):
-            total = diag[j].sum()
-            if total <= 0:
-                raise SimulationError("density matrix has vanished (all-zero diagonal)")
-            results.append(diag[j] / total)
-        return results
-
-    # -- trajectory engine ---------------------------------------------
-
-    def _run_trajectories_batch(
-        self,
-        program: _SharedProgram,
-        jobs: Sequence[BatchJob],
-        streams: List[List[np.random.Generator]],
-    ) -> List[np.ndarray]:
-        n = len(program.active)
-        J = len(jobs)
-        T = self.trajectories
-        state = np.zeros((J, T) + (2,) * n, dtype=complex)
-        state[(slice(None), slice(None)) + (0,) * n] = 1.0
-        variants = [self._job_variants(program, job) for job in jobs]
-
-        for kind, payload in program.template:
-            if kind == "op":
-                state = self._apply_sv_op(
-                    state, payload, list(range(J)), streams, offset=2  # type: ignore[arg-type]
-                )
-                continue
-            widx: int = payload  # type: ignore[assignment]
-            groups: Dict[Optional[str], List[int]] = {}
-            for j in range(J):
-                groups.setdefault(variants[j][widx], []).append(j)
-            for variant, members in groups.items():
-                ops = self._window_group_ops(program, widx, variant)
-                if not ops:
-                    continue
-                self.stats["window_variants"] += 1
-                for op in ops:
-                    state = self._apply_sv_op(state, op, members, streams, offset=2)
-
-        flat = state.reshape(J, T, -1)
-        probs = np.abs(flat) ** 2
-        probs = probs / probs.sum(axis=2, keepdims=True)
-        return [probs[j].sum(axis=0) / T for j in range(J)]
-
-    def _apply_sv_op(
-        self,
-        state: np.ndarray,
-        op: _ResolvedOp,
-        members: List[int],
-        streams: List[List[np.random.Generator]],
-        offset: int,
-    ) -> np.ndarray:
-        """Apply one operator to the (members x trajectories) statevectors."""
-        J, T = state.shape[0], state.shape[1]
-        axes = [offset + p for p in op.positions]
-        whole = len(members) == J
-
-        if op.kind == "unitary":
-            if whole:
-                return _apply_operator(state, op.tensor, axes)
-            index = np.array(members)
-            sub = state[index]
-            state[index] = _apply_operator(sub, op.tensor, axes)
-            return state
-
-        if op.kind == "gaussian":
-            angles = np.empty((len(members), T), dtype=float)
-            for row, j in enumerate(members):
-                for t in range(T):
-                    angles[row, t] = streams[j][t].normal(0.0, op.std)
-            if whole:
-                return _apply_phase_angles(state, angles, axes[0])
-            index = np.array(members)
-            sub = state[index]
-            state[index] = _apply_phase_angles(sub, angles, axes[0])
-            return state
-
-        # Stochastic Kraus unravelling.
-        index = np.array(members)
-        sub = state if whole else state[index]
-        sub_axes = axes
-        if op.mixed_cumulative is not None:
-            cumulative = op.mixed_cumulative
-            choices = np.empty((len(members), T), dtype=np.int64)
-            for row, j in enumerate(members):
-                row_streams = streams[j]
-                for t in range(T):
-                    choices[row, t] = choose_branch(row_streams[t], cumulative)
-            for branch, unitary in enumerate(op.mixed_unitaries or []):
-                if unitary is None:
-                    continue
-                mask = choices == branch
-                if not mask.any():
-                    continue
-                picked = sub[mask]  # (N,) + legs
-                picked_axes = [a - 1 for a in sub_axes]
-                sub[mask] = _apply_operator(picked, unitary, picked_axes)
-            if whole:
-                return sub
-            state[index] = sub
-            return state
-
-        # Generic state-dependent branches (e.g. amplitude damping).
-        m = op.kraus_stack.shape[0]
-        N = len(members)
-        candidates = np.stack(
-            [_apply_operator(sub, op.kraus_stack[b], sub_axes) for b in range(m)]
-        )  # (m, N, T) + legs
-        flat = candidates.reshape(m, N, T, -1)
-        weights = np.einsum("mntd,mntd->mnt", flat, np.conj(flat)).real  # (m, N, T)
-        totals = weights.sum(axis=0)  # (N, T)
-        safe_totals = np.where(totals > 0, totals, 1.0)
-        cumulative = np.cumsum(weights / safe_totals, axis=0)  # (m, N, T)
-        choices = np.zeros((N, T), dtype=np.int64)
-        keep = np.zeros((N, T), dtype=bool)
-        for row, j in enumerate(members):
-            row_streams = streams[j]
-            for t in range(T):
-                # A vanished channel keeps the state AND consumes no draw,
-                # mirroring the sequential engine's early return.
-                if totals[row, t] <= 0:
-                    keep[row, t] = True
-                    continue
-                choices[row, t] = choose_branch(row_streams[t], cumulative[:, row, t])
-        n_idx, t_idx = np.meshgrid(np.arange(N), np.arange(T), indexing="ij")
-        selected = flat[choices, n_idx, t_idx, :]  # (N, T, D)
-        chosen_weights = weights[choices, n_idx, t_idx]
-        norms = np.sqrt(np.where(chosen_weights > 0, chosen_weights, 1.0))
-        selected = selected / norms[..., None]
-        keep |= chosen_weights <= 0
-        if keep.any():
-            original = sub.reshape(N, T, -1)
-            selected[keep] = original[keep]
-        new_sub = selected.reshape(sub.shape)
-        if whole:
-            return new_sub
-        state[index] = new_sub
-        return state
 
 
 # ---------------------------------------------------------------------------

@@ -10,52 +10,64 @@ to an IBMQ machine.  It combines:
 
 and produces measurement counts / output probability distributions.
 
-Two engines are available:
+Since the unified-execution refactor the executor is a thin facade: ``run``
+compiles the circuit into a :class:`~repro.hardware.program.CompiledNoisyProgram`
+(through a keyed per-executor compile cache) and executes a batch of one
+through the engine registry of :mod:`repro.simulators.engines` — exactly the
+code path the batched :class:`~repro.hardware.batch.BatchExecutor` uses, which
+makes the sequential-vs-batch equivalence contract of ``docs/architecture.md``
+true by construction.
+
+Engines (see :func:`repro.simulators.engines.select_engine` for the shared
+``"auto"`` policy):
 
 * ``"density_matrix"`` — exact mixed-state evolution; the default for up to
   ``dm_qubit_limit`` active qubits.
-* ``"trajectories"`` — Monte-Carlo unravelling on statevectors: every
-  trajectory samples one realisation of each stochastic noise element and the
-  resulting *exact per-trajectory distributions* are averaged.  Scales to the
-  larger routed circuits (12+ active qubits) where a density matrix would not.
+* ``"trajectories"`` — Monte-Carlo unravelling on statevectors, scaling to
+  the larger routed circuits (12+ active qubits).
+* ``"stabilizer"`` — the Clifford fast path, auto-selected for Clifford-only
+  programs (decoy scoring, exhaustive-DD sweeps): stabilizer-tableau ideal
+  output plus Pauli-twirled noise, with no dense state at all.
 
-Both engines simulate only the *active* qubits (those touched by a gate or a
+Every engine simulates only the *active* qubits (those touched by a gate or a
 measurement), so mapping a 7-qubit program onto a 27-qubit device does not
 cost 2^27 amplitudes.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gates import Gate, gate_matrix, rz_matrix, rx_matrix
 from ..core.gst import GateSequenceTable
-from ..dd.insertion import DDAssignment, DDPlan, plan_dd
-from ..noise.model import NoiseOp
-from ..simulators.density_matrix import DensityMatrixSimulator
+from ..dd.insertion import DDAssignment, DDPlan
+from ..simulators.engines import EngineJob, choose_branch, get_engine, select_engine
 from ..simulators.statevector import SimulationError
 from .backend import Backend
+from .program import (
+    GATE_EVENT_PRIORITY,
+    GATE_NOISE_PRIORITY,
+    WINDOW_NOISE_PRIORITY,
+    CompiledNoisyProgram,
+    ProgramCache,
+)
 
 __all__ = [
+    "BatchJob",
     "ExecutionResult",
     "NoisyExecutor",
+    "execute_program_jobs",
     "job_streams",
     "job_sample_rng",
     "choose_branch",
+    # re-exported for backwards compatibility with pre-refactor imports:
+    "WINDOW_NOISE_PRIORITY",
+    "GATE_EVENT_PRIORITY",
+    "GATE_NOISE_PRIORITY",
 ]
-
-#: Sort priorities of the execution event stream at equal timestamps.  The
-#: batched executor's shared-program template uses the same constants — the
-#: sequential-vs-batch equivalence contract depends on both paths ordering
-#: (and therefore consuming randomness for) events identically.
-WINDOW_NOISE_PRIORITY = 0
-GATE_EVENT_PRIORITY = 1
-GATE_NOISE_PRIORITY = 2
 
 
 def job_streams(
@@ -63,12 +75,11 @@ def job_streams(
 ) -> Tuple[List[np.random.Generator], np.random.Generator]:
     """Derive the RNG streams of one seeded execution job.
 
-    Both the sequential (:meth:`NoisyExecutor.run` with ``seed=``) and the
-    batched (:class:`~repro.hardware.batch.BatchExecutor`) paths draw from
-    streams produced by this function, which is what makes their results agree
-    under a fixed seed: one independent child stream per trajectory (consumed
-    in event order within the trajectory) plus one stream for sampling the
-    final measurement counts.
+    Every execution path draws from streams produced by this function, which
+    is what makes seeded results independent of batching and worker count:
+    one independent child stream per trajectory (consumed in event order
+    within the trajectory) plus one stream for sampling the final
+    measurement counts.
     """
     root = np.random.SeedSequence(seed)
     children = root.spawn(trajectories + 1)
@@ -79,24 +90,35 @@ def job_streams(
 def job_sample_rng(seed: int, trajectories: int) -> np.random.Generator:
     """Only the sampling stream of :func:`job_streams`.
 
-    Lets density-matrix jobs (which never touch the per-trajectory streams)
-    skip instantiating ``trajectories`` generators while drawing counts from
-    the exact same child stream.
+    Lets engines that never touch the per-trajectory streams (density matrix,
+    stabilizer) skip instantiating ``trajectories`` generators while drawing
+    counts from the exact same child stream.
     """
     children = np.random.SeedSequence(seed).spawn(trajectories + 1)
     return np.random.default_rng(children[-1])
 
 
-def choose_branch(rng: np.random.Generator, cumulative: np.ndarray) -> int:
-    """Pick a branch index from cumulative probabilities with ONE uniform draw.
+@dataclass(frozen=True)
+class BatchJob:
+    """One execution of a compiled program under a DD candidate.
 
-    The single-draw protocol (rather than ``Generator.choice``) is shared by
-    the sequential and batched engines so that both consume per-trajectory
-    streams identically.
+    ``seed`` drives the deterministic stream protocol of :func:`job_streams`;
+    jobs with explicit seeds produce identical results regardless of batch
+    composition or worker count.  ``dd_plan`` overrides ``dd_assignment`` with
+    an explicit :class:`~repro.dd.insertion.DDPlan` (e.g. one built with a
+    custom ``min_window_ns``).  ``tag`` is carried through untouched for
+    caller bookkeeping.
     """
-    u = rng.random()
-    index = int(np.searchsorted(cumulative, u, side="right"))
-    return min(index, len(cumulative) - 1)
+
+    dd_assignment: Optional[DDAssignment] = None
+    dd_sequence: str = "xy4"
+    shots: int = 4096
+    seed: Optional[int] = None
+    output_qubits: Optional[Tuple[int, ...]] = None
+    engine: str = "auto"
+    include_idle_noise: bool = True
+    dd_plan: Optional[DDPlan] = None
+    tag: Optional[object] = None
 
 
 @dataclass
@@ -120,8 +142,228 @@ class ExecutionResult:
         return max(self.probabilities, key=self.probabilities.get)
 
 
-class NoisyExecutor:
-    """Simulates scheduled circuits under the backend's noise model."""
+# ---------------------------------------------------------------------------
+# The shared execution pipeline
+# ---------------------------------------------------------------------------
+
+
+def _job_variants(program: CompiledNoisyProgram, job: BatchJob) -> List[object]:
+    """Per-window variant keys for one job (assignment- or plan-driven)."""
+    if job.dd_plan is not None:
+        return program.plan_variants(job.dd_plan, job.include_idle_noise)
+    return program.assignment_variants(
+        job.dd_assignment, job.dd_sequence, job.include_idle_noise
+    )
+
+
+def _marginalize(probs: np.ndarray, active: List[int], outputs: List[int]) -> np.ndarray:
+    n = len(active)
+    index_of = {q: i for i, q in enumerate(active)}
+    tensor = probs.reshape((2,) * n)
+    keep = [index_of[q] for q in outputs]
+    drop = [axis for axis in range(n) if axis not in keep]
+    if drop:
+        tensor = tensor.sum(axis=tuple(drop))
+    # After summation the remaining axes are the kept axes in ascending
+    # order of their original position; permute them into output order.
+    kept_sorted = sorted(keep)
+    perm = [kept_sorted.index(axis) for axis in keep]
+    tensor = np.transpose(tensor, perm)
+    flat = tensor.reshape(-1)
+    return flat / flat.sum()
+
+
+def _sample(
+    probs: np.ndarray, shots: int, num_bits: int, rng: np.random.Generator
+) -> Dict[str, int]:
+    samples = rng.multinomial(shots, probs / probs.sum())
+    return {
+        format(idx, f"0{num_bits}b"): int(count)
+        for idx, count in enumerate(samples)
+        if count > 0
+    }
+
+
+def _finalize(
+    backend: Backend,
+    program: CompiledNoisyProgram,
+    job: BatchJob,
+    active_probs: np.ndarray,
+    engine: str,
+    sample_rng: np.random.Generator,
+) -> ExecutionResult:
+    outputs = program.resolve_outputs(job.output_qubits)
+    probs = _marginalize(active_probs, program.active, outputs)
+    probs = backend.gate_noise.apply_readout_error(probs, outputs)
+    counts = _sample(probs, job.shots, len(outputs), sample_rng)
+    prob_dict = {
+        format(i, f"0{len(outputs)}b"): float(p)
+        for i, p in enumerate(probs)
+        if p > 1e-12
+    }
+    if job.dd_plan is not None:
+        sequence_name = job.dd_plan.sequence_name
+        pulses = job.dd_plan.total_pulses
+        protected = job.dd_plan.num_protected_windows
+    else:
+        assignment = job.dd_assignment or DDAssignment.none()
+        sequence_name = program.sequence(job.dd_sequence).name
+        pulses, protected = program.plan_stats(assignment, sequence_name)
+    return ExecutionResult(
+        counts=counts,
+        probabilities=prob_dict,
+        shots=job.shots,
+        output_qubits=tuple(outputs),
+        engine=engine,
+        total_duration_ns=program.gst.total_duration,
+        dd_pulse_count=pulses,
+        num_active_qubits=len(program.active),
+        metadata={
+            "device": backend.name,
+            "calibration_cycle": backend.calibration.cycle,
+            "dd_sequence": sequence_name,
+            "protected_windows": protected,
+            "tag": job.tag,
+            "seed": job.seed,
+        },
+    )
+
+
+def execute_program_jobs(
+    backend: Backend,
+    program: CompiledNoisyProgram,
+    jobs: Sequence[BatchJob],
+    *,
+    trajectories: int,
+    dm_qubit_limit: int,
+    job_seed: Callable[[BatchJob], int],
+    memory_budget_bytes: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[ExecutionResult]:
+    """Execute jobs against a compiled program through the engine registry.
+
+    This is the ONE execution pipeline: jobs are grouped by resolved engine,
+    split into sub-batches bounded by ``memory_budget_bytes`` (when given),
+    seeded via ``job_seed``, run, and finalized (marginalize -> readout error
+    -> sample counts).  Results are returned in job order.
+    """
+    if not jobs:
+        return []
+    # Fail fast on unresolvable output qubits before any engine work: a bad
+    # job must not cost a whole sub-batch of simulation first.
+    for job in jobs:
+        program.resolve_outputs(job.output_qubits)
+    n = len(program.active)
+    groups: Dict[str, List[int]] = {}
+    for j, job in enumerate(jobs):
+        name = select_engine(job.engine, n, dm_qubit_limit, clifford=program.is_clifford)
+        groups.setdefault(name, []).append(j)
+
+    results: List[Optional[ExecutionResult]] = [None] * len(jobs)
+    for name, indices in groups.items():
+        engine = get_engine(name)
+        if not engine.supports(program):
+            raise SimulationError(
+                f"engine '{name}' cannot execute this compiled program"
+                f" (Clifford-only: {program.is_clifford});"
+                " choose another engine or 'auto'"
+            )
+        chunk = len(indices)
+        if memory_budget_bytes is not None:
+            state_bytes = engine.state_bytes(n, trajectories)
+            chunk = max(1, memory_budget_bytes // max(1, state_bytes))
+        for start in range(0, len(indices), chunk):
+            subset = indices[start : start + chunk]
+            sub_jobs = [jobs[j] for j in subset]
+            sub_seeds = [job_seed(job) for job in sub_jobs]
+            if engine.needs_streams:
+                pairs = [job_streams(s, trajectories) for s in sub_seeds]
+                sample_rngs = [pair[1] for pair in pairs]
+                engine_jobs = [
+                    EngineJob(variants=_job_variants(program, job), streams=pair[0])
+                    for job, pair in zip(sub_jobs, pairs)
+                ]
+            else:
+                # Stream-free engines never touch the per-trajectory streams;
+                # materialize only the sampling stream (same child either way).
+                sample_rngs = [job_sample_rng(s, trajectories) for s in sub_seeds]
+                engine_jobs = [
+                    EngineJob(variants=_job_variants(program, job)) for job in sub_jobs
+                ]
+            probs = engine.run(program, engine_jobs, trajectories, stats=stats)
+            for job, job_probs, j, sample_rng in zip(sub_jobs, probs, subset, sample_rngs):
+                results[j] = _finalize(backend, program, job, job_probs, name, sample_rng)
+    if stats is not None:
+        stats["jobs_run"] = stats.get("jobs_run", 0) + len(jobs)
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Shared compile-cache plumbing
+# ---------------------------------------------------------------------------
+
+
+class ProgramCompilerMixin:
+    """Compile-cache plumbing shared by both executor front-ends.
+
+    Owns the per-executor :class:`~repro.hardware.program.ProgramCache`, the
+    ``stats`` counters, the ``compile`` entry point and the pickling rule
+    (compile caches are machine-local working state, dropped when an executor
+    ships to a worker process).
+    """
+
+    def _init_program_cache(self, backend: Backend, max_cached_programs: int) -> None:
+        self.backend = backend
+        self._program_cache = ProgramCache(backend, max_entries=max_cached_programs)
+        self.stats: Dict[str, int] = {
+            "program_compiles": 0,
+            "program_hits": 0,
+            "jobs_run": 0,
+            "window_variants": 0,
+        }
+
+    @property
+    def _programs(self) -> Dict[object, CompiledNoisyProgram]:
+        """The live compile-cache entries (exposed for tests/diagnostics)."""
+        return self._program_cache.entries
+
+    def compile(
+        self, circuit: QuantumCircuit, gst: Optional[GateSequenceTable] = None
+    ) -> CompiledNoisyProgram:
+        """Build (or fetch from the keyed cache) the compiled program.
+
+        The cache is keyed by the circuit/schedule objects, so repeated
+        executions over the same compiled program — every analysis driver's
+        pattern, and the neighbourhood sweeps of ADAPT's localized search —
+        share one compiled template.
+        """
+        program, hit = self._program_cache.get(circuit, gst)
+        self.stats["program_hits" if hit else "program_compiles"] += 1
+        return program
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_program_cache"] = ProgramCache(
+            self.backend, max_entries=self._program_cache.max_entries
+        )
+        return state
+
+
+# ---------------------------------------------------------------------------
+# The sequential facade
+# ---------------------------------------------------------------------------
+
+
+class NoisyExecutor(ProgramCompilerMixin):
+    """Simulates scheduled circuits under the backend's noise model.
+
+    ``run`` compiles (with a per-executor compile cache keyed by the circuit
+    and schedule — repeated runs on the same circuit, the pattern in every
+    analysis driver, stop rebuilding the GST events) and executes a batch of
+    one through the shared engine registry.  Compile cache hit/miss counters
+    are exposed on :attr:`stats` alongside the process-level
+    :func:`~repro.hardware.program.process_cache_stats`.
+    """
 
     def __init__(
         self,
@@ -129,13 +371,24 @@ class NoisyExecutor:
         seed: Optional[int] = None,
         dm_qubit_limit: int = 10,
         trajectories: int = 120,
+        max_cached_programs: int = 16,
     ) -> None:
-        self.backend = backend
         self.dm_qubit_limit = int(dm_qubit_limit)
         self.trajectories = int(trajectories)
         self._rng = np.random.default_rng(seed)
+        self._init_program_cache(backend, max_cached_programs)
 
     # ------------------------------------------------------------------
+
+    def draw_job_seed(self, rng: Optional[np.random.Generator] = None) -> int:
+        """Draw one job seed from ``rng`` (default: the executor's stream).
+
+        This is the unseeded-run convention: callers that pre-draw seeds for
+        a batch (e.g. the Figure 8 sweep) get the same reproducibility-by-
+        call-sequence guarantee as repeated unseeded ``run()`` calls.
+        """
+        source = rng if rng is not None else self._rng
+        return int(source.integers(0, 2 ** 63))
 
     def run(
         self,
@@ -161,330 +414,42 @@ class NoisyExecutor:
             dd_sequence: DD protocol name used to build the plan.
             output_qubits: physical qubits defining the output bit order
                 (defaults to the measured qubits in ascending order).
-            engine: ``"auto"``, ``"density_matrix"`` or ``"trajectories"``.
+            engine: ``"auto"``, ``"auto_dense"`` or a registered engine name
+                (:func:`repro.simulators.engines.available_engines`).
+                ``"auto"`` (the default on both the sequential and batched
+                paths — the equivalence contract requires identical
+                defaults) takes the Pauli-twirled stabilizer fast path for
+                Clifford-only programs; measurement contexts that must stay
+                on the exact dense engines pass ``"auto_dense"``, as the
+                analysis drivers do for every reported fidelity.
             include_idle_noise: disable to isolate gate/readout errors.
             seed: per-job seed enabling the deterministic stream protocol of
                 :func:`job_streams`.  A seeded run is reproducible on its own
                 (independent of executor state) and agrees with the batched
                 executor's result for the same seed; it overrides ``rng``.
+                Unseeded runs derive a job seed from ``rng`` (or the
+                executor's own stream), so they stay reproducible within a
+                fixed call sequence.
         """
-        if seed is not None:
-            rng = job_sample_rng(seed, self.trajectories)
-        else:
-            rng = rng or self._rng
-        gst = gst or self.backend.schedule(circuit)
-        if dd_plan is None:
-            assignment = dd_assignment or DDAssignment.none()
-            dd_plan = plan_dd(gst, assignment, dd_sequence)
-
-        active, index_of = self._active_qubits(circuit, gst)
-        outputs = self._resolve_outputs(circuit, output_qubits, active)
-        events = self._build_events(gst, dd_plan, include_idle_noise)
-
-        engine_name = self._select_engine(engine, len(active), self.dm_qubit_limit)
-        if engine_name == "density_matrix":
-            probs = self._run_density_matrix(events, len(active), index_of)
-        else:
-            # Per-trajectory streams are only materialized when the
-            # trajectory engine actually runs.
-            streams = job_streams(seed, self.trajectories)[0] if seed is not None else None
-            probs = self._run_trajectories(events, len(active), index_of, rng, streams)
-
-        probs = self._marginalize(probs, active, outputs)
-        probs = self.backend.gate_noise.apply_readout_error(probs, outputs)
-        counts = self._sample(probs, shots, len(outputs), rng)
-        prob_dict = {
-            format(i, f"0{len(outputs)}b"): float(p)
-            for i, p in enumerate(probs)
-            if p > 1e-12
-        }
-        return ExecutionResult(
-            counts=counts,
-            probabilities=prob_dict,
+        if seed is None:
+            seed = self.draw_job_seed(rng)
+        program = self.compile(circuit, gst)
+        job = BatchJob(
+            dd_assignment=dd_assignment,
+            dd_sequence=dd_sequence,
             shots=shots,
-            output_qubits=tuple(outputs),
-            engine=engine_name,
-            total_duration_ns=gst.total_duration,
-            dd_pulse_count=dd_plan.total_pulses,
-            num_active_qubits=len(active),
-            metadata={
-                "device": self.backend.name,
-                "calibration_cycle": self.backend.calibration.cycle,
-                "dd_sequence": dd_plan.sequence_name,
-                "protected_windows": dd_plan.num_protected_windows,
-            },
+            seed=seed,
+            output_qubits=None if output_qubits is None else tuple(int(q) for q in output_qubits),
+            engine=engine,
+            include_idle_noise=include_idle_noise,
+            dd_plan=dd_plan,
         )
-
-    # ------------------------------------------------------------------
-    # Event construction
-    # ------------------------------------------------------------------
-
-    def _active_qubits(
-        self, circuit: QuantumCircuit, gst: GateSequenceTable
-    ) -> Tuple[List[int], Dict[int, int]]:
-        active = set(gst.active_qubits())
-        for gate in circuit:
-            if gate.is_measurement:
-                active.update(gate.qubits)
-        ordered = sorted(active)
-        return ordered, {q: i for i, q in enumerate(ordered)}
-
-    @staticmethod
-    def _resolve_outputs(
-        circuit: QuantumCircuit,
-        output_qubits: Optional[Sequence[int]],
-        active: List[int],
-    ) -> List[int]:
-        if output_qubits is not None:
-            outputs = [int(q) for q in output_qubits]
-        else:
-            measured = sorted({g.qubits[0] for g in circuit if g.is_measurement})
-            outputs = measured or list(active)
-        missing = [q for q in outputs if q not in active]
-        if missing:
-            raise SimulationError(f"output qubits {missing} never appear in the circuit")
-        return outputs
-
-    def _build_events(
-        self,
-        gst: GateSequenceTable,
-        dd_plan: DDPlan,
-        include_idle_noise: bool,
-    ) -> List[Tuple[float, int, str, object]]:
-        """Time-ordered events: ('gate', Gate) and ('noise', List[NoiseOp])."""
-        events: List[Tuple[float, int, str, object]] = []
-        noise_model = self.backend.gate_noise
-        idle_model = self.backend.idle_noise
-
-        for seq, scheduled in enumerate(gst.scheduled_gates):
-            gate = scheduled.gate
-            if gate.is_measurement or gate.is_barrier or gate.is_delay:
-                continue
-            events.append((scheduled.start, GATE_EVENT_PRIORITY, "gate", gate))
-            for op in noise_model.gate_noise(gate):
-                events.append((scheduled.start, GATE_NOISE_PRIORITY, "noise", op))
-
-        if include_idle_noise:
-            for window in gst.idle_windows():
-                train = dd_plan.train_for(window)
-                concurrent = gst.concurrent_cnots(
-                    window.start, window.end, exclude_qubit=window.qubit
-                )
-                effect = idle_model.window_effect(
-                    window.qubit, window.duration, concurrent, train
-                )
-                for op in effect.noise_ops():
-                    events.append((window.end, WINDOW_NOISE_PRIORITY, "noise", op))
-
-        events.sort(key=lambda item: (item[0], item[1]))
-        return events
-
-    @staticmethod
-    def _select_engine(engine: str, num_active: int, dm_qubit_limit: int = 10) -> str:
-        if engine not in ("auto", "density_matrix", "trajectories"):
-            raise ValueError(f"unknown engine '{engine}'")
-        if engine != "auto":
-            return engine
-        return "density_matrix" if num_active <= dm_qubit_limit else "trajectories"
-
-    # ------------------------------------------------------------------
-    # Density matrix engine
-    # ------------------------------------------------------------------
-
-    def _run_density_matrix(
-        self,
-        events: List[Tuple[float, int, str, object]],
-        num_active: int,
-        index_of: Dict[int, int],
-    ) -> np.ndarray:
-        sim = DensityMatrixSimulator(num_active, max_qubits=max(12, num_active))
-        for _, _, kind, payload in events:
-            if kind == "gate":
-                gate: Gate = payload  # type: ignore[assignment]
-                qubits = [index_of[q] for q in gate.qubits]
-                sim.apply_unitary(gate_matrix(gate.name, gate.params), qubits)
-            else:
-                op: NoiseOp = payload  # type: ignore[assignment]
-                qubits = [index_of[q] for q in op.qubits]
-                if op.kind == "kraus":
-                    sim.apply_kraus(op.payload, qubits)
-                elif op.kind == "rz":
-                    sim.apply_unitary(rz_matrix(float(op.payload)), qubits)
-                elif op.kind == "rx":
-                    sim.apply_unitary(rx_matrix(float(op.payload)), qubits)
-                elif op.kind == "gaussian_phase":
-                    sigma = float(op.payload)
-                    lam = 1.0 - math.exp(-(sigma ** 2))
-                    from ..simulators import channels
-
-                    sim.apply_kraus(channels.phase_damping(min(1.0, lam)), qubits)
-        return sim.probabilities()
-
-    # ------------------------------------------------------------------
-    # Trajectory engine
-    # ------------------------------------------------------------------
-
-    def _run_trajectories(
-        self,
-        events: List[Tuple[float, int, str, object]],
-        num_active: int,
-        index_of: Dict[int, int],
-        rng: np.random.Generator,
-        streams: Optional[List[np.random.Generator]] = None,
-    ) -> np.ndarray:
-        total = np.zeros(2 ** num_active, dtype=float)
-        seeded = streams is not None
-        for trajectory in range(self.trajectories):
-            trajectory_rng = streams[trajectory] if seeded else rng
-            state = np.zeros((2,) * num_active, dtype=complex)
-            state[(0,) * num_active] = 1.0
-            for _, _, kind, payload in events:
-                if kind == "gate":
-                    gate: Gate = payload  # type: ignore[assignment]
-                    qubits = [index_of[q] for q in gate.qubits]
-                    state = self._apply_unitary_sv(
-                        state, gate_matrix(gate.name, gate.params), qubits, num_active
-                    )
-                else:
-                    op: NoiseOp = payload  # type: ignore[assignment]
-                    qubits = [index_of[q] for q in op.qubits]
-                    state = self._apply_noise_sv(
-                        state, op, qubits, num_active, trajectory_rng, seeded
-                    )
-            probs = np.abs(state.reshape(-1)) ** 2
-            total += probs / probs.sum()
-        total /= self.trajectories
-        return total
-
-    @staticmethod
-    def _apply_unitary_sv(
-        state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], n: int
-    ) -> np.ndarray:
-        k = len(qubits)
-        tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-        state = np.tensordot(tensor, state, axes=(list(range(k, 2 * k)), list(qubits)))
-        remaining = [q for q in range(n) if q not in qubits]
-        current = {q: i for i, q in enumerate(list(qubits) + remaining)}
-        perm = [current[q] for q in range(n)]
-        return np.transpose(state, perm)
-
-    def _apply_noise_sv(
-        self,
-        state: np.ndarray,
-        op: NoiseOp,
-        qubits: Sequence[int],
-        n: int,
-        rng: np.random.Generator,
-        seeded: bool = False,
-    ) -> np.ndarray:
-        if op.kind == "rz":
-            return self._apply_unitary_sv(state, rz_matrix(float(op.payload)), qubits, n)
-        if op.kind == "rx":
-            return self._apply_unitary_sv(state, rx_matrix(float(op.payload)), qubits, n)
-        if op.kind == "gaussian_phase":
-            angle = rng.normal(0.0, float(op.payload))
-            return self._apply_unitary_sv(state, rz_matrix(angle), qubits, n)
-        kraus = list(op.payload)  # type: ignore[arg-type]
-        # Fast path for mixed-unitary channels (depolarizing, phase flip, ...):
-        # branch probabilities are state independent, so sample the branch
-        # first and apply only that single unitary (skipping identity terms).
-        mixed = self._mixed_unitary_form(kraus)
-        if mixed is not None:
-            probabilities, unitaries = mixed
-            if seeded:
-                choice = choose_branch(rng, np.cumsum(probabilities))
-            else:
-                choice = rng.choice(len(unitaries), p=probabilities)
-            unitary = unitaries[choice]
-            if unitary is None:  # identity branch
-                return state
-            return self._apply_unitary_sv(state, unitary, qubits, n)
-        # Generic stochastic Kraus unravelling: pick a branch with probability
-        # ||K_k |psi>||^2 and renormalise.
-        branches = []
-        weights = []
-        for operator in kraus:
-            candidate = self._apply_unitary_sv(state, operator, qubits, n)
-            weight = float(np.real(np.vdot(candidate, candidate)))
-            branches.append(candidate)
-            weights.append(weight)
-        weights_arr = np.array(weights)
-        total = weights_arr.sum()
-        if total <= 0:
-            return state
-        if seeded:
-            choice = choose_branch(rng, np.cumsum(weights_arr / total))
-        else:
-            choice = rng.choice(len(branches), p=weights_arr / total)
-        selected = branches[choice]
-        norm = math.sqrt(weights_arr[choice])
-        return selected / norm if norm > 0 else state
-
-    @staticmethod
-    def _mixed_unitary_form(
-        kraus: List[np.ndarray],
-    ) -> Optional[Tuple[np.ndarray, List[Optional[np.ndarray]]]]:
-        """Decompose a channel into (probabilities, unitaries) when possible.
-
-        A Kraus operator of the form ``K = sqrt(p) U`` with ``U`` unitary
-        satisfies ``K^dagger K = p I``; channels whose operators all have this
-        form (depolarizing, bit/phase flip) can be sampled without touching
-        the statevector.  Identity branches are returned as ``None`` so they
-        can be skipped entirely.
-        """
-        probabilities = []
-        unitaries: List[Optional[np.ndarray]] = []
-        valid = True
-        for operator in kraus:
-            operator = np.asarray(operator, dtype=complex)
-            gram = operator.conj().T @ operator
-            weight = float(np.real(gram[0, 0]))
-            if weight < 1e-14:
-                continue
-            if not np.allclose(gram, weight * np.eye(operator.shape[0]), atol=1e-10):
-                valid = False
-                break
-            unitary = operator / math.sqrt(weight)
-            probabilities.append(weight)
-            if np.allclose(unitary, np.eye(unitary.shape[0]), atol=1e-10):
-                unitaries.append(None)
-            else:
-                unitaries.append(unitary)
-        if valid and probabilities:
-            probs = np.array(probabilities)
-            return probs / probs.sum(), unitaries
-        return None
-
-    # ------------------------------------------------------------------
-    # Post-processing
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _marginalize(
-        probs: np.ndarray, active: List[int], outputs: List[int]
-    ) -> np.ndarray:
-        n = len(active)
-        index_of = {q: i for i, q in enumerate(active)}
-        tensor = probs.reshape((2,) * n)
-        keep = [index_of[q] for q in outputs]
-        drop = [axis for axis in range(n) if axis not in keep]
-        if drop:
-            tensor = tensor.sum(axis=tuple(drop))
-        # After summation the remaining axes are the kept axes in ascending
-        # order of their original position; permute them into output order.
-        kept_sorted = sorted(keep)
-        perm = [kept_sorted.index(axis) for axis in keep]
-        tensor = np.transpose(tensor, perm)
-        flat = tensor.reshape(-1)
-        return flat / flat.sum()
-
-    @staticmethod
-    def _sample(
-        probs: np.ndarray, shots: int, num_bits: int, rng: np.random.Generator
-    ) -> Dict[str, int]:
-        samples = rng.multinomial(shots, probs / probs.sum())
-        return {
-            format(idx, f"0{num_bits}b"): int(count)
-            for idx, count in enumerate(samples)
-            if count > 0
-        }
+        return execute_program_jobs(
+            self.backend,
+            program,
+            [job],
+            trajectories=self.trajectories,
+            dm_qubit_limit=self.dm_qubit_limit,
+            job_seed=lambda j: j.seed,
+            stats=self.stats,
+        )[0]

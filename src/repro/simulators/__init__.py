@@ -1,18 +1,35 @@
-"""Simulation engines: statevector, density matrix, stabilizer, extended stabilizer."""
+"""Simulation engines: statevector, density matrix, stabilizer, extended stabilizer.
+
+:mod:`repro.simulators.engines` additionally hosts the pluggable
+execution-engine registry consumed by ``repro.hardware`` (density matrix,
+trajectories, and the Clifford stabilizer fast path).
+"""
 
 from .statevector import SimulationError, StatevectorSimulator
 from .density_matrix import DensityMatrixSimulator
 from .stabilizer import CliffordTableau, StabilizerSimulator
 from .extended_stabilizer import ExtendedStabilizerSimulator, SimulationReport
+from .engines import (
+    ExecutionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    select_engine,
+)
 from . import channels
 
 __all__ = [
     "CliffordTableau",
     "DensityMatrixSimulator",
+    "ExecutionEngine",
     "ExtendedStabilizerSimulator",
     "SimulationError",
     "SimulationReport",
     "StabilizerSimulator",
     "StatevectorSimulator",
+    "available_engines",
     "channels",
+    "get_engine",
+    "register_engine",
+    "select_engine",
 ]

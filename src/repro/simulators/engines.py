@@ -1,0 +1,757 @@
+"""Pluggable execution engines over a compiled noisy program.
+
+Every execution path — the sequential :class:`~repro.hardware.execution.NoisyExecutor`
+facade and the batched :class:`~repro.hardware.batch.BatchExecutor` — routes
+through the engines registered here.  An engine consumes a
+:class:`~repro.hardware.program.CompiledNoisyProgram` (the shared event
+template with pre-resolved operators) plus per-job window variants, and
+returns one active-space probability vector per job.
+
+Three engines are registered by default:
+
+* ``"density_matrix"`` — exact mixed-state evolution; channels are applied as
+  precomputed superoperators, one BLAS-backed contraction over the whole
+  stacked batch per event.
+* ``"trajectories"`` — vectorized Monte-Carlo unravelling on statevectors;
+  every trajectory draws from its own seeded stream via the single-uniform
+  :func:`choose_branch` protocol, making results independent of batching.
+* ``"stabilizer"`` — the Clifford fast path: when every gate of the compiled
+  program is exactly representable on the CHP tableau (Clifford decoys, the
+  Figure 8 exhaustive-DD sweep), the ideal output distribution is computed on
+  the stabilizer engine and every noise channel is **Pauli-twirled** into a
+  stochastic Pauli channel.  Because Pauli errors propagate through Clifford
+  circuits to Pauli errors, and only the X-component of a propagated error
+  changes computational-basis probabilities, the noisy distribution is the
+  ideal one convolved (over GF(2)^n) with the propagated error-mask
+  distribution — computed *exactly* via a Walsh–Hadamard transform, with no
+  Monte-Carlo sampling and no 4^n density matrix.
+
+Engine selection policy lives here too (:func:`select_engine`): ``"auto"``
+picks the stabilizer fast path for Clifford-only programs, the dense density
+matrix up to ``dm_qubit_limit`` active qubits, and trajectories beyond.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from .stabilizer import StabilizerSimulator
+from .statevector import SimulationError
+
+__all__ = [
+    "EngineJob",
+    "ExecutionEngine",
+    "DensityMatrixEngine",
+    "TrajectoryEngine",
+    "StabilizerEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "select_engine",
+    "choose_branch",
+    "pauli_twirl_probabilities",
+    "STABILIZER_AUTO_QUBIT_LIMIT",
+]
+
+#: Beyond this many active qubits ``"auto"`` stops preferring the stabilizer
+#: fast path (its 2^n Walsh–Hadamard convolution stops being the cheap option).
+STABILIZER_AUTO_QUBIT_LIMIT = 12
+
+
+def choose_branch(rng: np.random.Generator, cumulative: np.ndarray) -> int:
+    """Pick a branch index from cumulative probabilities with ONE uniform draw.
+
+    The single-draw protocol (rather than ``Generator.choice``) is shared by
+    every stochastic engine so that all of them consume per-trajectory
+    streams identically.
+    """
+    u = rng.random()
+    index = int(np.searchsorted(cumulative, u, side="right"))
+    return min(index, len(cumulative) - 1)
+
+
+@dataclass
+class EngineJob:
+    """Per-job execution inputs handed to an engine.
+
+    ``variants`` holds one window-variant key per idle window of the program
+    (see :meth:`~repro.hardware.program.CompiledNoisyProgram.window_ops`);
+    ``streams`` the per-trajectory RNG streams (only materialized for engines
+    with ``needs_streams``).
+    """
+
+    variants: List[object]
+    streams: Optional[List[np.random.Generator]] = None
+
+
+# ---------------------------------------------------------------------------
+# Batched tensor contractions (shared by the dense engines)
+# ---------------------------------------------------------------------------
+
+
+def _apply_operator(state: np.ndarray, op_tensor: np.ndarray, leg_axes: Sequence[int]) -> np.ndarray:
+    """Contract a k-leg operator with the given state axes, axes kept in place.
+
+    Implemented with ``tensordot`` (transpose + one BLAS matmul) rather than
+    ``einsum``, whose generic iterator is an order of magnitude slower on
+    these many-small-axis tensors.
+    """
+    k = len(leg_axes)
+    nd = state.ndim
+    result = np.tensordot(op_tensor, state, axes=(list(range(k, 2 * k)), list(leg_axes)))
+    # tensordot puts the operator's output legs first; move each back to the
+    # axis it replaced.
+    remaining = [a for a in range(nd) if a not in leg_axes]
+    current = {axis: i for i, axis in enumerate(list(leg_axes) + remaining)}
+    perm = [current[a] for a in range(nd)]
+    return np.transpose(result, perm)
+
+
+def _apply_phase_angles(state: np.ndarray, angles: np.ndarray, axis: int) -> np.ndarray:
+    """Apply per-batch-element RZ(angle) to one statevector leg (diagonal)."""
+    stacked = np.stack(
+        [np.exp(-0.5j * angles), np.exp(0.5j * angles)], axis=-1
+    )
+    shape = list(angles.shape) + [1] * (state.ndim - angles.ndim)
+    shape[axis] = 2
+    return state * stacked.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Engine base + registry
+# ---------------------------------------------------------------------------
+
+
+class ExecutionEngine:
+    """Interface of one execution engine over compiled programs."""
+
+    name: str = "base"
+    #: True if the engine consumes per-trajectory seeded streams; executors
+    #: only materialize the streams when an engine asks for them.
+    needs_streams: bool = False
+
+    def supports(self, program) -> bool:
+        """True if the engine can execute this compiled program."""
+        return True
+
+    def state_bytes(self, num_active: int, trajectories: int) -> int:
+        """Per-job working-state size, used for memory-budget sub-batching."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        program,
+        jobs: Sequence[EngineJob],
+        trajectories: int,
+        stats: Optional[Dict[str, int]] = None,
+    ) -> List[np.ndarray]:
+        """Execute all jobs, returning one active-space probability vector each."""
+        raise NotImplementedError
+
+
+_ENGINES: Dict[str, ExecutionEngine] = {}
+
+
+def register_engine(engine: ExecutionEngine) -> ExecutionEngine:
+    """Register an engine instance under its ``name`` (latest wins)."""
+    _ENGINES[engine.name] = engine
+    return engine
+
+
+def available_engines() -> List[str]:
+    """Sorted names of every registered engine."""
+    return sorted(_ENGINES)
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine '{name}' (registered engines: "
+            f"{', '.join(available_engines())})"
+        ) from None
+
+
+def select_engine(
+    engine: str,
+    num_active: int,
+    dm_qubit_limit: int = 10,
+    clifford: bool = False,
+    stabilizer_qubit_limit: int = STABILIZER_AUTO_QUBIT_LIMIT,
+) -> str:
+    """The one engine-selection policy shared by every execution path.
+
+    ``"auto"`` resolves to the stabilizer fast path when the compiled program
+    is Clifford-only (and small enough for the 2^n convolution), otherwise to
+    the dense density matrix up to ``dm_qubit_limit`` active qubits, and to
+    the trajectory engine beyond.  ``"auto_dense"`` applies the same policy
+    but never picks the stabilizer engine — for *measurement* contexts (final
+    reported fidelities) where the Pauli-twirl approximation is not wanted,
+    as opposed to *scoring/ranking* contexts (decoy scoring, DD sweeps) where
+    it is.  Explicit engine names are validated against the registry.
+    """
+    if engine not in ("auto", "auto_dense"):
+        get_engine(engine)  # raises with the registered names listed
+        return engine
+    if (
+        engine == "auto"
+        and clifford
+        and "stabilizer" in _ENGINES
+        and num_active <= stabilizer_qubit_limit
+    ):
+        return "stabilizer"
+    return "density_matrix" if num_active <= dm_qubit_limit else "trajectories"
+
+
+def _window_groups(jobs: Sequence[EngineJob], widx: int) -> Dict[object, List[int]]:
+    """Group job indices by the variant they use for window ``widx``."""
+    groups: Dict[object, List[int]] = {}
+    for j, job in enumerate(jobs):
+        groups.setdefault(job.variants[widx], []).append(j)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Density-matrix engine
+# ---------------------------------------------------------------------------
+
+
+class DensityMatrixEngine(ExecutionEngine):
+    """Exact mixed-state evolution via batched superoperator contractions."""
+
+    name = "density_matrix"
+    needs_streams = False
+
+    def state_bytes(self, num_active: int, trajectories: int) -> int:
+        return 16 * (4 ** num_active)
+
+    def run(self, program, jobs, trajectories, stats=None):
+        n = program.num_active
+        J = len(jobs)
+        state = np.zeros((J,) + (2,) * (2 * n), dtype=complex)
+        state[(slice(None),) + (0,) * (2 * n)] = 1.0
+
+        def apply_op(target: np.ndarray, op) -> np.ndarray:
+            rows = [1 + p for p in op.positions]
+            cols = [1 + n + p for p in op.positions]
+            return _apply_operator(target, op.superop, rows + cols)
+
+        for kind, payload in program.template:
+            if kind == "op":
+                state = apply_op(state, payload)
+                continue
+            widx: int = payload
+            for variant, members in _window_groups(jobs, widx).items():
+                ops = program.window_ops(widx, variant)
+                if not ops:
+                    continue
+                if stats is not None:
+                    stats["window_variants"] = stats.get("window_variants", 0) + 1
+                if len(members) == J:
+                    for op in ops:
+                        state = apply_op(state, op)
+                else:
+                    index = np.array(members)
+                    sub = state[index]
+                    for op in ops:
+                        sub = apply_op(sub, op)
+                    state[index] = sub
+
+        # Diagonal, clipped and renormalised exactly like
+        # DensityMatrixSimulator.probabilities().
+        diag_labels = [0] + list(range(1, n + 1)) + list(range(1, n + 1))
+        diag = np.real(np.einsum(state, diag_labels, [0] + list(range(1, n + 1))))
+        diag = diag.reshape(J, 2 ** n).copy()
+        diag[diag < 0] = 0.0
+        results = []
+        for j in range(J):
+            total = diag[j].sum()
+            if total <= 0:
+                raise SimulationError("density matrix has vanished (all-zero diagonal)")
+            results.append(diag[j] / total)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Trajectory engine
+# ---------------------------------------------------------------------------
+
+
+class TrajectoryEngine(ExecutionEngine):
+    """Vectorized Monte-Carlo unravelling with per-trajectory seeded streams."""
+
+    name = "trajectories"
+    needs_streams = True
+
+    def state_bytes(self, num_active: int, trajectories: int) -> int:
+        return 16 * trajectories * (2 ** num_active)
+
+    def run(self, program, jobs, trajectories, stats=None):
+        n = program.num_active
+        J = len(jobs)
+        T = trajectories
+        streams = [job.streams for job in jobs]
+        state = np.zeros((J, T) + (2,) * n, dtype=complex)
+        state[(slice(None), slice(None)) + (0,) * n] = 1.0
+
+        for kind, payload in program.template:
+            if kind == "op":
+                state = self._apply_sv_op(state, payload, list(range(J)), streams, offset=2)
+                continue
+            widx: int = payload
+            for variant, members in _window_groups(jobs, widx).items():
+                ops = program.window_ops(widx, variant)
+                if not ops:
+                    continue
+                if stats is not None:
+                    stats["window_variants"] = stats.get("window_variants", 0) + 1
+                for op in ops:
+                    state = self._apply_sv_op(state, op, members, streams, offset=2)
+
+        flat = state.reshape(J, T, -1)
+        probs = np.abs(flat) ** 2
+        probs = probs / probs.sum(axis=2, keepdims=True)
+        return [probs[j].sum(axis=0) / T for j in range(J)]
+
+    def _apply_sv_op(
+        self,
+        state: np.ndarray,
+        op,
+        members: List[int],
+        streams: List[List[np.random.Generator]],
+        offset: int,
+    ) -> np.ndarray:
+        """Apply one operator to the (members x trajectories) statevectors."""
+        J, T = state.shape[0], state.shape[1]
+        axes = [offset + p for p in op.positions]
+        whole = len(members) == J
+
+        if op.kind == "unitary":
+            if whole:
+                return _apply_operator(state, op.tensor, axes)
+            index = np.array(members)
+            sub = state[index]
+            state[index] = _apply_operator(sub, op.tensor, axes)
+            return state
+
+        if op.kind == "gaussian":
+            angles = np.empty((len(members), T), dtype=float)
+            for row, j in enumerate(members):
+                for t in range(T):
+                    angles[row, t] = streams[j][t].normal(0.0, op.std)
+            if whole:
+                return _apply_phase_angles(state, angles, axes[0])
+            index = np.array(members)
+            sub = state[index]
+            state[index] = _apply_phase_angles(sub, angles, axes[0])
+            return state
+
+        # Stochastic Kraus unravelling.
+        index = np.array(members)
+        sub = state if whole else state[index]
+        sub_axes = axes
+        if op.mixed_cumulative is not None:
+            cumulative = op.mixed_cumulative
+            choices = np.empty((len(members), T), dtype=np.int64)
+            for row, j in enumerate(members):
+                row_streams = streams[j]
+                for t in range(T):
+                    choices[row, t] = choose_branch(row_streams[t], cumulative)
+            for branch, unitary in enumerate(op.mixed_unitaries or []):
+                if unitary is None:
+                    continue
+                mask = choices == branch
+                if not mask.any():
+                    continue
+                picked = sub[mask]  # (N,) + legs
+                picked_axes = [a - 1 for a in sub_axes]
+                sub[mask] = _apply_operator(picked, unitary, picked_axes)
+            if whole:
+                return sub
+            state[index] = sub
+            return state
+
+        # Generic state-dependent branches (e.g. amplitude damping).
+        m = op.kraus_stack.shape[0]
+        N = len(members)
+        candidates = np.stack(
+            [_apply_operator(sub, op.kraus_stack[b], sub_axes) for b in range(m)]
+        )  # (m, N, T) + legs
+        flat = candidates.reshape(m, N, T, -1)
+        weights = np.einsum("mntd,mntd->mnt", flat, np.conj(flat)).real  # (m, N, T)
+        totals = weights.sum(axis=0)  # (N, T)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        cumulative = np.cumsum(weights / safe_totals, axis=0)  # (m, N, T)
+        choices = np.zeros((N, T), dtype=np.int64)
+        keep = np.zeros((N, T), dtype=bool)
+        for row, j in enumerate(members):
+            row_streams = streams[j]
+            for t in range(T):
+                # A vanished channel keeps the state AND consumes no draw,
+                # mirroring the single-job engine semantics.
+                if totals[row, t] <= 0:
+                    keep[row, t] = True
+                    continue
+                choices[row, t] = choose_branch(row_streams[t], cumulative[:, row, t])
+        n_idx, t_idx = np.meshgrid(np.arange(N), np.arange(T), indexing="ij")
+        selected = flat[choices, n_idx, t_idx, :]  # (N, T, D)
+        chosen_weights = weights[choices, n_idx, t_idx]
+        norms = np.sqrt(np.where(chosen_weights > 0, chosen_weights, 1.0))
+        selected = selected / norms[..., None]
+        keep |= chosen_weights <= 0
+        if keep.any():
+            original = sub.reshape(N, T, -1)
+            selected[keep] = original[keep]
+        new_sub = selected.reshape(sub.shape)
+        if whole:
+            return new_sub
+        state[index] = new_sub
+        return state
+
+
+# ---------------------------------------------------------------------------
+# Stabilizer (Clifford fast path) engine
+# ---------------------------------------------------------------------------
+
+#: Single-qubit Paulis as (matrix, x-bit, z-bit) in symplectic convention.
+_PAULI_1Q: List[Tuple[np.ndarray, int, int]] = [
+    (np.eye(2, dtype=complex), 0, 0),
+    (np.array([[0, 1], [1, 0]], dtype=complex), 1, 0),
+    (np.array([[0, -1j], [1j, 0]], dtype=complex), 1, 1),
+    (np.array([[1, 0], [0, -1]], dtype=complex), 0, 1),
+]
+
+#: Stacked k-qubit Pauli bases: k -> (matrices (4^k, 2^k, 2^k), xbits, zbits).
+_PAULI_BASIS_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _pauli_basis(k: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    basis = _PAULI_BASIS_CACHE.get(k)
+    if basis is None:
+        matrices, xrows, zrows = [], [], []
+        for labels in np.ndindex(*([4] * k)):
+            pauli = np.eye(1, dtype=complex)
+            xbits, zbits = [], []
+            for label in labels:
+                matrix, x, z = _PAULI_1Q[label]
+                pauli = np.kron(pauli, matrix)
+                xbits.append(x)
+                zbits.append(z)
+            matrices.append(pauli)
+            xrows.append(xbits)
+            zrows.append(zbits)
+        basis = (
+            np.stack(matrices),
+            np.array(xrows, dtype=bool),
+            np.array(zrows, dtype=bool),
+        )
+        _PAULI_BASIS_CACHE[k] = basis
+    return basis
+
+
+def pauli_twirl_probabilities(
+    kraus: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pauli-twirl a channel: probabilities over the 4^k Pauli strings.
+
+    Expanding each Kraus operator in the Pauli basis, ``K_m = sum_P c_mP P``,
+    the twirled channel applies Pauli ``P`` with probability
+    ``p_P = sum_m |c_mP|^2`` — always a valid distribution.  Returns
+    ``(probs, xbits, zbits)`` for the Paulis with non-negligible weight,
+    where ``xbits``/``zbits`` are ``(branches, k)`` boolean arrays.
+    """
+    stack = np.stack([np.asarray(op, dtype=complex) for op in kraus])  # (m, d, d)
+    dim = stack.shape[1]
+    k = int(round(math.log2(dim)))
+    paulis, xrows, zrows = _pauli_basis(k)
+    # c_mP = tr(P K_m) / dim for every Pauli at once (one einsum).
+    coefficients = np.einsum("pij,mji->pm", paulis, stack) / dim
+    weights = (np.abs(coefficients) ** 2).sum(axis=1)
+    keep = weights > 1e-15
+    probs = weights[keep]
+    return probs / probs.sum(), xrows[keep], zrows[keep]
+
+
+def _fwht(values: np.ndarray) -> np.ndarray:
+    """Unnormalized fast Walsh–Hadamard transform (self-inverse up to 1/2^n)."""
+    out = values.astype(float).copy()
+    h = 1
+    length = out.shape[0]
+    while h < length:
+        out = out.reshape(-1, 2, h)
+        top = out[:, 0, :] + out[:, 1, :]
+        bottom = out[:, 0, :] - out[:, 1, :]
+        out = np.stack([top, bottom], axis=1).reshape(-1)
+        h *= 2
+    return out
+
+
+def _bit_parity(values: np.ndarray) -> np.ndarray:
+    """Parity of the set bits of each (uint64) entry."""
+    values = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        values ^= values >> shift
+    return (values & 1).astype(bool)
+
+
+class StabilizerEngine(ExecutionEngine):
+    """Exact Clifford fast path: tableau + Pauli-twirled noise convolution.
+
+    The model replaces every noise channel by its Pauli twirl (exact for the
+    depolarizing gate errors, phase damping and quasi-static Gaussian
+    dephasing; an approximation for coherent rz/rx rotations and the
+    non-unital part of T1 decay).  Within that model the returned
+    distribution is exact — no trajectories are sampled — so DD-candidate
+    rankings are deterministic.
+    """
+
+    name = "stabilizer"
+    needs_streams = False
+
+    def supports(self, program) -> bool:
+        return bool(getattr(program, "is_clifford", False))
+
+    def state_bytes(self, num_active: int, trajectories: int) -> int:
+        return 8 * (2 ** num_active)
+
+    # -- public entry --------------------------------------------------
+
+    def run(self, program, jobs, trajectories, stats=None):
+        if not self.supports(program):
+            raise SimulationError(
+                "the stabilizer engine requires a Clifford-only compiled program;"
+                " use engine='auto', 'density_matrix' or 'trajectories'"
+            )
+        n = program.num_active
+        needed = set()
+        for job in jobs:
+            for widx, variant in enumerate(job.variants):
+                if variant != "skip":
+                    needed.add((widx, variant))
+        cache = program.engine_cache.get(self.name)
+        if cache is None:
+            cache = self._build_base(program)
+            program.engine_cache[self.name] = cache
+        # Incremental: only spectra of variants never seen before are computed
+        # (through the memoized per-window suffix conjugation maps); the ideal
+        # spectrum and the shared gate-noise spectrum are never rebuilt.
+        for widx, variant in sorted(needed - cache["built"], key=repr):
+            self._add_window_variant(program, cache, widx, variant)
+            cache["built"].add((widx, variant))
+
+        results = []
+        for job in jobs:
+            spectrum = cache["shared"].copy()
+            for widx, variant in enumerate(job.variants):
+                if variant == "skip":
+                    continue
+                window_spectrum = cache["windows"].get((widx, variant))
+                if window_spectrum is not None:
+                    spectrum *= window_spectrum
+            probs = _fwht(cache["ideal_wht"] * spectrum) / (2 ** n)
+            probs[probs < 0] = 0.0
+            total = probs.sum()
+            if total <= 0:
+                raise SimulationError("stabilizer distribution has vanished")
+            results.append(probs / total)
+        if stats is not None and jobs:
+            for widx in range(len(jobs[0].variants)):
+                groups = {
+                    job.variants[widx]
+                    for job in jobs
+                    if (widx, job.variants[widx]) in cache["windows"]
+                }
+                stats["window_variants"] = stats.get("window_variants", 0) + len(groups)
+        return results
+
+    # -- model construction --------------------------------------------
+
+    def _ideal_distribution(self, program) -> np.ndarray:
+        """Exact noise-free output distribution over the active qubits."""
+        n = program.num_active
+        circuit = QuantumCircuit(n)
+        for kind, payload in program.template:
+            if kind == "op" and payload.gate is not None:
+                circuit.append(
+                    Gate(payload.gate.name, payload.positions, payload.gate.params)
+                )
+        outcome_map = StabilizerSimulator().probabilities(circuit, max_outcomes=2 ** n)
+        ideal = np.zeros(2 ** n, dtype=float)
+        for bits, probability in outcome_map.items():
+            ideal[int(bits, 2)] = probability
+        return ideal / ideal.sum()
+
+    def _build_base(self, program) -> Dict[str, object]:
+        """One forward pass: the variant-independent part of the model.
+
+        Twirls every shared gate-noise op and propagates its Paulis through
+        the *subsequent* Clifford gates with vectorized symplectic column
+        updates (phases are irrelevant: only the final X-mask of an error
+        changes computational-basis probabilities).  Alongside the noise
+        rows, a block of 2n Pauli *basis* rows (X_q, Z_q) is seeded at every
+        window slot: their propagated X-parts form the window's suffix
+        conjugation map, from which any later variant's spectrum is computed
+        without walking the template again.
+        """
+        n = program.num_active
+        events: List[Tuple[int, object, Tuple[np.ndarray, np.ndarray, np.ndarray], Tuple[int, ...]]] = []
+        for tidx, (kind, payload) in enumerate(program.template):
+            if kind == "op":
+                if payload.gate is not None:
+                    continue
+                events.append((tidx, "shared", self._twirl(payload), payload.positions))
+            else:
+                events.append((tidx, ("basis", payload), None, ()))
+
+        identity = np.eye(n, dtype=bool)
+        basis_x = np.vstack([identity, np.zeros((n, n), dtype=bool)])  # X_q then Z_q
+        basis_z = np.vstack([np.zeros((n, n), dtype=bool), identity])
+
+        total_rows = sum(
+            2 * n if twirl is None else twirl[1].shape[0] for _, _, twirl, _ in events
+        )
+        xparts = np.zeros((total_rows, n), dtype=bool)
+        zparts = np.zeros((total_rows, n), dtype=bool)
+        spans: List[Tuple[object, int, int, Optional[np.ndarray]]] = []
+
+        cursor = 0
+        event_iter = iter(events)
+        pending = next(event_iter, None)
+        for tidx, (kind, payload) in enumerate(program.template):
+            while pending is not None and pending[0] == tidx:
+                _, tag, twirl, positions = pending
+                if twirl is None:  # window slot: seed the 2n basis rows
+                    xparts[cursor : cursor + 2 * n] = basis_x
+                    zparts[cursor : cursor + 2 * n] = basis_z
+                    spans.append((tag, cursor, cursor + 2 * n, None))
+                    cursor += 2 * n
+                else:
+                    probs, xbits, zbits = twirl
+                    rows = xbits.shape[0]
+                    for column, position in enumerate(positions):
+                        xparts[cursor : cursor + rows, position] = xbits[:, column]
+                        zparts[cursor : cursor + rows, position] = zbits[:, column]
+                    spans.append((tag, cursor, cursor + rows, probs))
+                    cursor += rows
+                pending = next(event_iter, None)
+            if kind == "op" and payload.gate is not None:
+                self._propagate_gate(payload, xparts[:cursor], zparts[:cursor])
+
+        shared = np.ones(2 ** n, dtype=float)
+        suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for tag, start, stop, probs in spans:
+            if probs is None:
+                widx = tag[1]
+                suffix_maps[widx] = (
+                    xparts[start : start + n].copy(),      # x-parts of images of X_q
+                    xparts[start + n : stop].copy(),       # x-parts of images of Z_q
+                )
+            else:
+                shared *= self._spectrum(
+                    probs, self._pack_masks(xparts[start:stop], n), n
+                )
+
+        ideal = self._ideal_distribution(program)
+        return {
+            "ideal_wht": _fwht(ideal),
+            "shared": shared,
+            "suffix_maps": suffix_maps,
+            "windows": {},
+            "built": set(),
+        }
+
+    def _add_window_variant(self, program, cache, widx: int, variant: object) -> None:
+        """Spectrum of one (window, variant): twirl its ops, map through the
+        memoized suffix conjugation, convolve — no template re-walk."""
+        ops = program.window_ops(widx, variant)
+        if not ops:
+            return
+        n = program.num_active
+        x_of_x, x_of_z = cache["suffix_maps"][widx]
+        spectrum = np.ones(2 ** n, dtype=float)
+        for op in ops:
+            probs, xbits, zbits = self._twirl(op)
+            rows = xbits.shape[0]
+            final_x = np.zeros((rows, n), dtype=bool)
+            for column, position in enumerate(op.positions):
+                final_x ^= xbits[:, column][:, None] & x_of_x[position][None, :]
+                final_x ^= zbits[:, column][:, None] & x_of_z[position][None, :]
+            spectrum *= self._spectrum(probs, self._pack_masks(final_x, n), n)
+        cache["windows"][(widx, variant)] = spectrum
+
+    @staticmethod
+    def _spectrum(probs: np.ndarray, masks: np.ndarray, n: int) -> np.ndarray:
+        """Walsh–Hadamard spectrum of one event's mask distribution."""
+        indices = np.arange(2 ** n, dtype=np.uint64)
+        spectrum = np.zeros(2 ** n, dtype=float)
+        for row, mask in enumerate(masks):
+            signs = np.where(_bit_parity(indices & mask), -1.0, 1.0)
+            spectrum += probs[row] * signs
+        return spectrum
+
+    @staticmethod
+    def _twirl(op) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        twirl = op._twirl
+        if twirl is None:
+            twirl = pauli_twirl_probabilities(op.kraus_matrices())
+            op._twirl = twirl
+        return twirl
+
+    @staticmethod
+    def _pack_masks(xparts: np.ndarray, n: int) -> np.ndarray:
+        """X-mask rows packed into integers (qubit position 0 = MSB)."""
+        weights = (1 << np.arange(n - 1, -1, -1)).astype(np.uint64)
+        return (xparts.astype(np.uint64) @ weights).astype(np.uint64)
+
+    @staticmethod
+    def _propagate_gate(op, xparts: np.ndarray, zparts: np.ndarray) -> None:
+        """Symplectic conjugation of the pending Pauli rows by one gate."""
+        gate = op.gate
+        name = gate.name
+        positions = op.positions
+        if name in ("id", "i", "x", "y", "z"):
+            return
+        if name == "h":
+            a = positions[0]
+            xa = xparts[:, a].copy()
+            xparts[:, a] = zparts[:, a]
+            zparts[:, a] = xa
+        elif name in ("s", "sdg"):
+            a = positions[0]
+            zparts[:, a] ^= xparts[:, a]
+        elif name in ("sx", "sxdg"):
+            a = positions[0]
+            xparts[:, a] ^= zparts[:, a]
+        elif name in ("cx", "cnot"):
+            control, target = positions
+            xparts[:, target] ^= xparts[:, control]
+            zparts[:, control] ^= zparts[:, target]
+        elif name == "cz":
+            a, b = positions
+            zparts[:, b] ^= xparts[:, a]
+            zparts[:, a] ^= xparts[:, b]
+        elif name == "swap":
+            a, b = positions
+            for parts in (xparts, zparts):
+                col = parts[:, a].copy()
+                parts[:, a] = parts[:, b]
+                parts[:, b] = col
+        elif name in ("rz", "u1", "p"):
+            quarter_turns = int(round(gate.params[0] / (math.pi / 2))) % 4
+            if quarter_turns in (1, 3):
+                a = positions[0]
+                zparts[:, a] ^= xparts[:, a]
+        else:  # pragma: no cover - guarded by CompiledNoisyProgram.is_clifford
+            raise SimulationError(f"gate '{name}' is not Clifford-propagatable")
+
+
+register_engine(DensityMatrixEngine())
+register_engine(TrajectoryEngine())
+register_engine(StabilizerEngine())

@@ -19,10 +19,43 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gates import Gate
+from ..circuits.gates import CLIFFORD_GATE_NAMES, Gate
 from .statevector import SimulationError
 
-__all__ = ["StabilizerSimulator", "CliffordTableau"]
+__all__ = [
+    "StabilizerSimulator",
+    "CliffordTableau",
+    "SUPPORTED_GATE_NAMES",
+    "is_tableau_supported",
+]
+
+#: Gate names this engine applies directly — exactly the named Clifford set
+#: of :mod:`repro.circuits.gates` (parametric rotations are handled by
+#: :func:`is_tableau_supported` instead: they are Clifford only at quarter
+#: turns, and only rz-like rotations have a tableau rule).
+SUPPORTED_GATE_NAMES = frozenset(CLIFFORD_GATE_NAMES)
+
+#: Angle tolerance of the quarter-turn check, shared with
+#: :meth:`StabilizerSimulator._apply_clifford_rz`.
+_QUARTER_TURN_ATOL = 1e-7
+
+
+def is_tableau_supported(gate: Gate) -> bool:
+    """True if this engine can apply ``gate`` exactly.
+
+    The one Clifford-detection predicate for execution purposes: the
+    compiled-program layer uses it to decide whether a program qualifies for
+    the stabilizer fast path, so it cannot drift from what the simulator
+    actually implements.  Note this is stricter than ``Gate.is_clifford``:
+    rx/ry at quarter turns are mathematically Clifford but have no tableau
+    rule here.
+    """
+    if gate.name in SUPPORTED_GATE_NAMES:
+        return True
+    if gate.name in ("rz", "u1", "p"):
+        steps = gate.params[0] / (math.pi / 2)
+        return math.isclose(steps, round(steps), abs_tol=_QUARTER_TURN_ATOL)
+    return False
 
 
 class CliffordTableau:
@@ -308,7 +341,7 @@ class StabilizerSimulator:
     def _apply_clifford_rz(tableau: CliffordTableau, qubit: int, angle: float) -> None:
         steps = angle / (math.pi / 2)
         rounded = round(steps)
-        if not math.isclose(steps, rounded, abs_tol=1e-7):
+        if not math.isclose(steps, rounded, abs_tol=_QUARTER_TURN_ATOL):
             raise SimulationError(
                 f"rz({angle}) is not a Clifford rotation; build an SDC or use the"
                 " extended stabilizer engine"

@@ -70,7 +70,7 @@ class TestBasics:
         result = london_executor.run(circuit, shots=64)
         assert result.metadata["device"] == "ibmq_london"
         assert result.metadata["dd_sequence"] == "xy4"
-        assert result.engine in ("density_matrix", "trajectories")
+        assert result.engine in ("density_matrix", "trajectories", "stabilizer")
 
     def test_bell_correlations_survive_noise(self, london_executor):
         circuit = QuantumCircuit(5).h(0).cx(0, 1).measure(0).measure(1)
@@ -133,8 +133,12 @@ class TestNoiseEffects:
 
 class TestEngines:
     def test_engine_selection_auto(self, london_executor):
-        circuit = QuantumCircuit(5).h(0).measure(0)
-        assert london_executor.run(circuit, shots=32).engine == "density_matrix"
+        # Clifford-only circuits take the stabilizer fast path under "auto"...
+        clifford = QuantumCircuit(5).h(0).measure(0)
+        assert london_executor.run(clifford, shots=32).engine == "stabilizer"
+        # ...while anything non-Clifford falls back to the dense engines.
+        generic = QuantumCircuit(5).ry(0.3, 0).measure(0)
+        assert london_executor.run(generic, shots=32).engine == "density_matrix"
 
     def test_engines_agree_on_distribution(self, london_backend):
         executor = NoisyExecutor(london_backend, seed=29, trajectories=400)
