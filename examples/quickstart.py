@@ -1,58 +1,74 @@
-"""Quickstart: compile a benchmark, let ADAPT pick the DD subset, compare policies.
+"""Quickstart: drive a resumable experiment sweep through the repro CLI.
+
+Everything in this reproduction flows through the content-addressed
+experiment store: a sweep executes once, lands on disk, and every later
+re-run — same process or not — is served from the store.  This script drives
+the real CLI (`python -m repro ...`) end to end:
+
+1. run the built-in smoke sweep into a fresh store (cold: everything executes);
+2. run it again and *require* 100% cache hits (warm: nothing executes);
+3. inspect the store (`ls --stats`) and the sweep journal (`report`);
+4. use the same store from the Python API, where the figure drivers
+   read through it.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import Adapt, AdaptConfig, Backend, DDAssignment, NoisyExecutor, fidelity, transpile
-from repro.core import compiled_ideal_distribution
-from repro.workloads import get_benchmark
+import tempfile
+
+from repro.cli import main
 
 
-def main() -> None:
-    # 1. Pick a device model and a benchmark from the paper's suite.
-    backend = Backend.from_name("ibmq_guadalupe", cycle=0)
-    circuit = get_benchmark("QFT-6A").build()
-    print(f"Benchmark: {circuit.name} ({circuit.num_qubits} qubits, {circuit.num_gates} gates)")
+def cli(*args: str) -> None:
+    command = " ".join(args)
+    print(f"\n$ python -m repro {command}")
+    code = main(list(args))
+    if code != 0:
+        raise SystemExit(f"`repro {command}` exited with {code}")
 
-    # 2. Compile it: basis decomposition, noise-adaptive layout, SABRE routing.
-    compiled = transpile(circuit, backend)
-    print(
-        f"Compiled onto {backend.name}: {compiled.gate_count()} gates,"
-        f" depth {compiled.depth()}, {compiled.num_swaps} SWAPs,"
-        f" latency {compiled.latency_us():.1f} us,"
-        f" average idle time {compiled.average_idle_time_us():.1f} us"
-    )
 
-    # 3. Let ADAPT pick the subset of qubits that should receive DD pulses.
-    executor = NoisyExecutor(backend, seed=7)
-    adapt = Adapt(executor, config=AdaptConfig(dd_sequence="xy4", decoy_shots=2048), seed=7)
-    selection = adapt.select(compiled)
-    print(
-        f"ADAPT selected DD on qubits {sorted(selection.assignment.qubits)}"
-        f" (combination {selection.bitstring}) using"
-        f" {selection.num_decoy_evaluations} decoy evaluations"
-    )
+def run() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store:
+        # 1. Cold sweep: every task executes and is checkpointed as it
+        #    completes.  Interrupt it at any point and the next invocation
+        #    resumes exactly where it stopped — resume IS re-running.
+        cli("sweep", "--smoke", "--store", store)
 
-    # 4. Execute the program under the three simple policies and compare.
-    ideal = compiled_ideal_distribution(compiled)
-    policies = {
-        "No-DD": DDAssignment.none(),
-        "All-DD": DDAssignment.all(compiled.gst.active_qubits()),
-        "ADAPT": selection.assignment,
-    }
-    baseline = None
-    for name, assignment in policies.items():
-        result = executor.run(
-            compiled.physical_circuit,
-            dd_assignment=assignment,
-            shots=4096,
-            output_qubits=compiled.output_qubits,
-            gst=compiled.gst,
+        # 2. Warm sweep: the same declarative spec resolves to the same
+        #    content-addressed keys, so the whole sweep is served from disk.
+        #    --expect-all-cached turns that into a hard assertion (CI uses
+        #    this exact pair of commands as its smoke gate).
+        cli("sweep", "--smoke", "--store", store, "--expect-all-cached")
+
+        # 3. What's in the store, and how well are the caches doing?
+        cli("ls", "--store", store, "--stats")
+        cli("report", "--store", store)
+
+        # 4. The same store serves the Python API: drivers accept store= and
+        #    read through it, so regenerating a figure from a warm store
+        #    costs a disk read.  (One ADAPT policy comparison, Figure 13
+        #    style — the second call below does not execute anything.)
+        from repro import Backend, ExperimentStore
+        from repro.analysis.evaluation_runs import (
+            EvaluationConfig,
+            run_policy_comparison,
         )
-        value = fidelity(ideal, result.probabilities)
-        baseline = baseline or value
-        print(f"  {name:7s} fidelity {value:.3f}  ({value / baseline:.2f}x vs No-DD)")
+
+        handle = ExperimentStore(store)
+        backend = Backend.from_name("ibmq_rome", cycle=0)
+        config = EvaluationConfig(
+            shots=512, decoy_shots=256, trajectories=40,
+            runtime_best_max_evaluations=8, seed=7,
+        )
+        evaluation = run_policy_comparison("ADDER-4", backend, config, store=handle)
+        replayed = run_policy_comparison("ADDER-4", backend, config, store=handle)
+        print("\nPolicy comparison on ADDER-4 @ ibmq_rome (relative to No-DD):")
+        for name, outcome in evaluation.outcomes.items():
+            print(f"  {name:12s} {outcome.relative_fidelity:5.2f}x")
+        assert replayed.outcomes.keys() == evaluation.outcomes.keys()
+        hits = handle.stats["memory_hits"] + handle.stats["disk_hits"]
+        print(f"store hits this session: {hits} (the replay executed nothing)")
 
 
 if __name__ == "__main__":
-    main()
+    run()

@@ -25,7 +25,13 @@ scratch in Python:
 * :mod:`repro.metrics` — TVD fidelity, Spearman correlation, entropy and
   summary statistics;
 * :mod:`repro.analysis` — experiment drivers that regenerate every table and
-  figure of the paper.
+  figure of the paper;
+* :mod:`repro.store` — the content-addressed experiment store (stable
+  SHA-256 keys over circuit/calibration/policy content; in-memory LRU over
+  JSON-manifested ``.npz`` artifacts on disk);
+* :mod:`repro.runtime` — the resumable sweep orchestrator behind the
+  ``python -m repro`` CLI (``run`` / ``sweep`` / ``ls`` / ``gc`` /
+  ``report``).
 
 Quickstart::
 
@@ -65,8 +71,10 @@ from .core import (
     standard_policies,
 )
 from .metrics import fidelity, total_variation_distance
+from .store import ExperimentStore
+from .runtime import SweepOrchestrator, SweepSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Adapt",
@@ -79,6 +87,7 @@ __all__ = [
     "DDAssignment",
     "DDPlan",
     "DensityMatrixSimulator",
+    "ExperimentStore",
     "ExtendedStabilizerSimulator",
     "Gate",
     "GateSequenceTable",
@@ -86,6 +95,8 @@ __all__ = [
     "QuantumCircuit",
     "StabilizerSimulator",
     "StatevectorSimulator",
+    "SweepOrchestrator",
+    "SweepSpec",
     "evaluate_policies",
     "fidelity",
     "get_device",

@@ -11,7 +11,7 @@ shot/trajectory budget; the defaults used by the benchmark harness are the
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.adapt import AdaptConfig
 from ..core.evaluation import (
@@ -26,6 +26,9 @@ from ..hardware.batch import BatchExecutor, create_worker_pool
 from ..hardware.execution import NoisyExecutor
 from ..transpiler.transpile import transpile
 from ..workloads.suite import get_benchmark
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import ExperimentStore
 
 __all__ = [
     "EvaluationConfig",
@@ -78,8 +81,18 @@ def run_policy_comparison(
     benchmark: str,
     backend: Backend,
     config: Optional[EvaluationConfig] = None,
+    store: Optional["ExperimentStore"] = None,
 ) -> BenchmarkEvaluation:
-    """Evaluate the four policies on one benchmark / backend pair."""
+    """Evaluate the four policies on one benchmark / backend pair.
+
+    With a ``store``, the evaluation is read-through/write-through: the key
+    (see :func:`repro.store.keys.evaluation_key`) covers the compiled
+    circuit's structure and schedule, the full calibration content, every
+    policy's configuration and seed, and the budget knobs — so a warm store
+    makes the whole comparison (ADAPT search included) a disk read.  The
+    caching is sound because this function constructs fresh, explicitly
+    seeded policies for every call.
+    """
     config = config or EvaluationConfig()
     circuit = get_benchmark(benchmark).build()
     compiled = transpile(circuit, backend)
@@ -116,6 +129,9 @@ def run_policy_comparison(
     for policy in policies:
         if hasattr(policy, "max_evaluations"):
             policy.max_evaluations = config.runtime_best_max_evaluations
+    # The store key is owned by evaluate_policies' default schema (circuit +
+    # schedule + calibration + policy describes + runner budgets), so this
+    # driver, the sweep runtime and direct API callers all share one cache.
     return evaluate_policies(
         compiled,
         policies,
@@ -127,13 +143,21 @@ def run_policy_comparison(
         batch_executor=batch_executor,
         seed=config.seed,
         engine=config.final_engine,
+        store=store,
     )
 
 
 def _run_comparison_remote(args) -> BenchmarkEvaluation:
-    benchmark, device_name, calibration_cycle, config = args
+    benchmark, device_name, calibration_cycle, config, store_root = args
     backend = Backend.from_name(device_name, cycle=calibration_cycle)
-    return run_policy_comparison(benchmark, backend, config)
+    store = None
+    if store_root is not None:
+        from ..store.store import ExperimentStore
+
+        # Each worker opens its own store handle on the shared root: writes
+        # are atomic-rename safe, so concurrent workers never corrupt it.
+        store = ExperimentStore(store_root)
+    return run_policy_comparison(benchmark, backend, config, store=store)
 
 
 def run_machine_evaluation(
@@ -141,28 +165,33 @@ def run_machine_evaluation(
     benchmarks: Sequence[str],
     config: Optional[EvaluationConfig] = None,
     calibration_cycle: int = 0,
+    store: Optional["ExperimentStore"] = None,
 ) -> List[BenchmarkEvaluation]:
     """Figure 13/14/15 driver: all benchmarks of one figure on one machine.
 
     With ``config.n_workers > 1`` the benchmarks are fanned out over worker
     processes (one full policy comparison per worker); each worker runs its
     inner evaluation single-process, and per-benchmark seeding makes the
-    result identical to the serial sweep.
+    result identical to the serial sweep.  A ``store`` is shared across
+    workers by root path — already-stored benchmarks are skipped inside each
+    worker, and new results land in the store as they complete.
     """
     config = config or EvaluationConfig()
     if config.n_workers > 1 and len(benchmarks) > 1:
         pool = create_worker_pool(min(config.n_workers, len(benchmarks)))
         if pool is not None:
             inner = replace(config, n_workers=1)
+            store_root = None if store is None else str(store.root)
             payloads = [
-                (benchmark, device_name, calibration_cycle, inner)
+                (benchmark, device_name, calibration_cycle, inner, store_root)
                 for benchmark in benchmarks
             ]
             with pool:
                 return list(pool.map(_run_comparison_remote, payloads))
     backend = Backend.from_name(device_name, cycle=calibration_cycle)
     return [
-        run_policy_comparison(benchmark, backend, config) for benchmark in benchmarks
+        run_policy_comparison(benchmark, backend, config, store=store)
+        for benchmark in benchmarks
     ]
 
 

@@ -1,0 +1,321 @@
+"""``python -m repro`` — the experiment-store / sweep command line.
+
+Subcommands:
+
+* ``run``    — execute one task kind and store its record;
+* ``sweep``  — expand a declarative sweep spec (or the built-in ``--smoke``
+  sweep) into a task DAG, skip stored tasks, run + checkpoint the rest;
+* ``ls``     — list store contents; ``--stats`` adds the aggregated cache
+  counters (store hits/misses across sessions + process-level caches);
+* ``gc``     — reclaim stale-schema / corrupt / orphaned artifacts;
+* ``report`` — show sweep journals and per-task status.
+
+The store root is ``--store``, else ``$REPRO_STORE``, else ``./.repro-store``.
+Every sweep is resumable by construction: re-running the same spec skips
+every task whose key is already stored, so interrupting a sweep costs only
+the tasks that were in flight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .store.store import ExperimentStore, default_store_root
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADAPT reproduction: persistent experiment store + sweep runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            help=f"store root (default: $REPRO_STORE or {default_store_root()!r})",
+        )
+
+    run = sub.add_parser("run", help="execute one task and store its record")
+    add_store(run)
+    run.add_argument("--kind", required=True, help="registered task kind")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="task parameter (VALUE parsed as JSON, else kept as string)",
+    )
+    run.add_argument("--json", default=None, help="task parameters as one JSON object")
+    run.add_argument(
+        "--recompute", action="store_true", help="execute even if the key is stored"
+    )
+
+    sweep = sub.add_parser("sweep", help="run a declarative sweep (resumable)")
+    add_store(sweep)
+    sweep.add_argument("--spec", default=None, help="sweep spec JSON file")
+    sweep.add_argument(
+        "--smoke", action="store_true", help="run the built-in CI smoke sweep"
+    )
+    sweep.add_argument("--name", default=None, help="sweep name (journal label)")
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--max-tasks", type=int, default=None, help="execute at most N tasks, then stop"
+    )
+    sweep.add_argument(
+        "--recompute", action="store_true", help="re-execute stored tasks"
+    )
+    sweep.add_argument(
+        "--expect-all-cached",
+        action="store_true",
+        help="fail unless every task is a cache hit (CI warm-store gate)",
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-task lines")
+
+    ls = sub.add_parser("ls", help="list stored records")
+    add_store(ls)
+    ls.add_argument("--stats", action="store_true", help="show aggregated cache stats")
+    ls.add_argument("--keys", action="store_true", help="print full keys")
+    ls.add_argument("--limit", type=int, default=40, help="max records to list")
+
+    gc = sub.add_parser("gc", help="reclaim stale/corrupt/orphaned artifacts")
+    add_store(gc)
+    gc.add_argument(
+        "--older-than-days", type=float, default=None, help="also expire old records"
+    )
+    gc.add_argument("--dry-run", action="store_true", help="report only, delete nothing")
+
+    report = sub.add_parser("report", help="show sweep journals")
+    add_store(report)
+    report.add_argument("--sweep", default=None, help="journal name filter (substring)")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _parse_params(pairs: Sequence[str], blob: Optional[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    if blob:
+        params.update(json.loads(blob))
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _open_store(args) -> ExperimentStore:
+    return ExperimentStore(args.store)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    from .runtime.tasks import (
+        available_task_kinds,
+        required_params,
+        resolve_task_key,
+        run_task,
+    )
+
+    store = _open_store(args)
+    params = _parse_params(args.param, args.json)
+    if args.kind not in available_task_kinds():
+        raise SystemExit(
+            f"unknown task kind {args.kind!r}; registered: {available_task_kinds()}"
+        )
+    missing = [name for name in required_params(args.kind) if name not in params]
+    if missing:
+        raise SystemExit(
+            f"task kind {args.kind!r} needs --param "
+            + " --param ".join(f"{name}=..." for name in missing)
+        )
+    key = resolve_task_key(args.kind, params)
+    if not args.recompute and store.contains(key):
+        print(f"cached    {args.kind}  {key}")
+        return 0
+    start = time.perf_counter()
+    meta, arrays = run_task(args.kind, params, store)
+    store.put(key, meta, arrays)
+    store.flush_session_stats()
+    print(f"executed  {args.kind}  {key}  ({time.perf_counter() - start:.2f}s)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .runtime.orchestrator import SweepOrchestrator
+    from .runtime.spec import load_spec, smoke_spec
+
+    if bool(args.spec) == bool(args.smoke):
+        raise SystemExit("sweep needs exactly one of --spec or --smoke")
+    specs = smoke_spec() if args.smoke else load_spec(args.spec)
+    store = _open_store(args)
+    orchestrator = SweepOrchestrator(
+        store,
+        n_workers=args.workers,
+        progress=None if args.quiet else print,
+    )
+    name = args.name or ("smoke" if args.smoke else specs[0].name)
+    report = orchestrator.run(
+        specs, name=name, recompute=args.recompute, max_executions=args.max_tasks
+    )
+    total = len(report.tasks)
+    hits = len(report.cached)
+    print(report.summary_line())
+    print(f"cache hits: {hits}/{total} ({100.0 * hits / max(1, total):.0f}%)")
+    if report.failed:
+        for task in report.failed:
+            print(f"FAILED {task.task_id}: {task.error}", file=sys.stderr)
+        return 1
+    if args.expect_all_cached and (report.executed or report.pending):
+        print(
+            "expected a fully warm store, but"
+            f" {len(report.executed)} task(s) executed and"
+            f" {len(report.pending)} pending",
+            file=sys.stderr,
+        )
+        return 1
+    if report.interrupted:
+        print("interrupted — re-run the same sweep to resume", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    store = _open_store(args)
+    rows = store.ls()
+    by_kind: Dict[str, int] = {}
+    for row in rows:
+        by_kind[str(row["kind"])] = by_kind.get(str(row["kind"]), 0) + 1
+    print(f"store: {store.root}  ({len(rows)} records, {store.disk_bytes()} bytes)")
+    for kind, count in sorted(by_kind.items()):
+        print(f"  {kind:32s} {count}")
+    if rows and args.limit:
+        print()
+        shown = rows[: args.limit]
+        for row in shown:
+            key = row["key"] if args.keys else str(row["key"])[:16]
+            print(f"  {key}  {row['kind']}  {row.get('bytes', 0)}B")
+        if len(rows) > len(shown):
+            print(f"  ... {len(rows) - len(shown)} more (raise --limit)")
+    if args.stats:
+        print()
+        print("aggregated cache stats")
+        cumulative = store.cumulative_stats()
+        session = store.stats
+        for counter in sorted(set(cumulative) | set(session)):
+            total = int(cumulative.get(counter, 0)) + int(session.get(counter, 0))
+            print(f"  store.{counter:20s} {total}")
+        lookups = sum(
+            int(cumulative.get(c, 0)) + int(session.get(c, 0))
+            for c in ("memory_hits", "disk_hits", "misses")
+        )
+        hits = lookups - int(cumulative.get("misses", 0)) - int(session.get("misses", 0))
+        if lookups:
+            print(f"  store.hit_rate            {100.0 * hits / lookups:.1f}%")
+        from .hardware.program import process_cache_stats
+
+        for counter, value in sorted(process_cache_stats().items()):
+            print(f"  process.{counter:18s} {value}")
+        print(
+            "  (per-executor compile-cache counters live on"
+            " NoisyExecutor/BatchExecutor.cache_stats())"
+        )
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    store = _open_store(args)
+    older = None if args.older_than_days is None else args.older_than_days * 86400.0
+    removed = store.gc(older_than_s=older, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    total = 0
+    for reason, paths in sorted(removed.items()):
+        if paths:
+            print(f"{verb} {len(paths)} ({reason})")
+            total += len(paths)
+    print(f"{verb} {total} file(s); {store.disk_bytes()} bytes remain")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = _open_store(args)
+    journals: List[dict] = []
+    if store.sweeps_dir.exists():
+        for path in sorted(store.sweeps_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    journals.append(json.load(handle))
+            except (json.JSONDecodeError, OSError):
+                continue
+    if args.sweep:
+        journals = [j for j in journals if args.sweep in str(j.get("name", ""))]
+    if not journals:
+        print("no sweep journals found")
+        return 0
+    for journal in journals:
+        tasks = journal.get("tasks", {})
+        by_status: Dict[str, int] = {}
+        for entry in tasks.values():
+            by_status[entry["status"]] = by_status.get(entry["status"], 0) + 1
+        counts = ", ".join(f"{n} {s}" for s, n in sorted(by_status.items()))
+        print(f"{journal.get('name')}  [{journal.get('sweep_key', '')[:12]}]  {counts}")
+        for task_id, entry in sorted(tasks.items()):
+            line = f"  {entry['status']:>8}  {task_id}"
+            if entry.get("seconds"):
+                line += f"  ({entry['seconds']:.2f}s)"
+            if entry.get("error"):
+                line += f"  !! {entry['error']}"
+            print(line)
+            if entry["status"] in ("executed", "cached") and entry["kind"] == "sweep_summary":
+                record = store.get(entry["key"])
+                if record is not None:
+                    for leaf_id, leaf in sorted(record.meta.get("tasks", {}).items()):
+                        headline = leaf.get("headline") or {}
+                        text = ", ".join(f"{k}={v}" for k, v in sorted(headline.items()))
+                        print(f"            {leaf_id}: {text}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "ls": _cmd_ls,
+    "gc": _cmd_gc,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -23,6 +23,7 @@ from .policies import Policy, PolicyDecision
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hardware.batch import BatchExecutor
     from ..hardware.execution import NoisyExecutor
+    from ..store.store import ExperimentStore
     from ..transpiler.transpile import CompiledProgram
 
 __all__ = [
@@ -160,6 +161,8 @@ def evaluate_policies(
     batch_executor: Optional["BatchExecutor"] = None,
     seed: Optional[int] = None,
     engine: str = "auto_dense",
+    store: Optional["ExperimentStore"] = None,
+    store_key: Optional[str] = None,
 ) -> BenchmarkEvaluation:
     """Run every policy on a compiled benchmark and compare fidelities.
 
@@ -175,7 +178,44 @@ def evaluate_policies(
             ``"auto_dense"`` keeps them on the exact dense engines even for
             Clifford benchmarks; decoy scoring inside the policies is where
             the stabilizer fast path applies.
+        store: optional :class:`~repro.store.store.ExperimentStore`.  With a
+            ``store_key`` (build one with
+            :func:`repro.store.keys.evaluation_key`; the default when omitted)
+            the evaluation becomes read-through/write-through: a stored
+            result is returned without executing anything, otherwise the
+            computed result is persisted under the key.  Only sound when the
+            run is deterministic — freshly constructed, explicitly seeded
+            policies and an explicit ``seed`` — which is what
+            :func:`repro.analysis.evaluation_runs.run_policy_comparison`
+            guarantees.
     """
+    if store is not None:
+        from ..store import evaluation_key
+        from ..store.records import decode_evaluation, encode_evaluation
+
+        if store_key is None:
+            # The final executions run on batch_executor when given, else on
+            # the sequential executor — and their trajectory budget and
+            # dm_qubit_limit determine the result (engine resolution, MC
+            # sampling), so they must be part of the key.
+            runner = batch_executor if batch_executor is not None else executor
+            store_key = evaluation_key(
+                compiled,
+                executor.backend,
+                policies=[policy.describe() for policy in policies],
+                dd_sequence=dd_sequence,
+                shots=shots,
+                seed=seed,
+                engine=engine,
+                extra={
+                    "trajectories": getattr(runner, "trajectories", None),
+                    "dm_qubit_limit": getattr(runner, "dm_qubit_limit", None),
+                },
+            )
+        record = store.get(store_key)
+        if record is not None:
+            return decode_evaluation(record.meta)
+
     ideal = ideal or compiled_ideal_distribution(compiled)
     gst = compiled.gst
     evaluation = BenchmarkEvaluation(
@@ -250,6 +290,9 @@ def evaluate_policies(
     evaluation.baseline_fidelity = baseline_fidelity
     for outcome in evaluation.outcomes.values():
         outcome.relative_fidelity = outcome.fidelity / baseline_fidelity
+    if store is not None and store_key is not None:
+        meta, arrays = encode_evaluation(evaluation)
+        store.put(store_key, meta, arrays)
     return evaluation
 
 

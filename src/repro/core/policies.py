@@ -64,6 +64,15 @@ class Policy:
     def decide(self, compiled: "CompiledProgram") -> PolicyDecision:
         raise NotImplementedError
 
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description of everything that determines ``decide``.
+
+        Folded into experiment-store keys
+        (:func:`repro.store.keys.evaluation_key`), so two evaluations share a
+        key only when every policy would decide identically.
+        """
+        return {"policy": self.name}
+
 
 class NoDDPolicy(Policy):
     """Baseline: never apply DD."""
@@ -100,6 +109,17 @@ class AdaptPolicy(Policy):
         self._adapt = Adapt(
             executor, config=config, seed=seed, batch_executor=batch_executor
         )
+
+    def describe(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        config = asdict(self._adapt.config)
+        # Batching and worker fan-out do not change the selection (the
+        # per-evaluation seed protocol guarantees it), so they stay out of
+        # the key — a laptop run and a 32-worker run share their cache.
+        config.pop("use_batch", None)
+        config.pop("n_workers", None)
+        return {"policy": self.name, "seed": self._adapt._base_seed, **config}
 
     def decide(self, compiled: "CompiledProgram") -> PolicyDecision:
         result = self._adapt.select(compiled)
@@ -142,6 +162,22 @@ class RuntimeBestPolicy(Policy):
         self.engine = engine
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def describe(self) -> Dict[str, object]:
+        runner = self.batch_executor if self.batch_executor is not None else self.executor
+        return {
+            "policy": self.name,
+            "dd_sequence": self.dd_sequence,
+            "shots": self.shots,
+            "max_exhaustive_qubits": self.max_exhaustive_qubits,
+            "max_evaluations": self.max_evaluations,
+            "seed": self._seed,
+            "engine": self.engine,
+            # Engine resolution and the trajectory engine's sampling depend
+            # on these executor knobs, so they are result-determining.
+            "trajectories": getattr(runner, "trajectories", None),
+            "dm_qubit_limit": getattr(runner, "dm_qubit_limit", None),
+        }
 
     def _candidate_assignments(self, qubits: Sequence[int]) -> List[DDAssignment]:
         qubits = list(qubits)

@@ -6,6 +6,7 @@ from .calibration import (
     CrosstalkEntry,
     LinkCalibration,
     QubitCalibration,
+    calibration_seed,
     generate_calibration,
 )
 from .backend import Backend
@@ -42,6 +43,7 @@ __all__ = [
     "ProgramCache",
     "QubitCalibration",
     "cached_gate_matrix",
+    "calibration_seed",
     "choose_branch",
     "create_worker_pool",
     "execute_program_jobs",

@@ -60,6 +60,13 @@ __all__ = [
 class BatchExecutor(ProgramCompilerMixin):
     """Executes many near-identical jobs over one compiled program.
 
+    Cache efficacy is observable end to end: per-executor compile-cache
+    hit/miss counters live on :attr:`stats`, and :meth:`cache_stats`
+    (inherited from :class:`~repro.hardware.execution.ProgramCompilerMixin`)
+    aggregates them with the process-level gate/operator caches.  Sweep-level
+    counters (experiment-store hits/misses) are surfaced by
+    ``python -m repro ls --stats``.
+
     Args:
         backend: device model + calibration (as for ``NoisyExecutor``).
         dm_qubit_limit: beyond this active-qubit count ``engine="auto"``

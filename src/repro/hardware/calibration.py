@@ -34,6 +34,7 @@ __all__ = [
     "LinkCalibration",
     "CrosstalkEntry",
     "Calibration",
+    "calibration_seed",
     "generate_calibration",
 ]
 
@@ -133,7 +134,22 @@ class Calibration:
         return float(max(durations) / np.mean(durations))
 
 
-def _seed_for(device: DeviceSpec, cycle: int) -> int:
+def calibration_seed(device: DeviceSpec, cycle: int) -> int:
+    """The RNG seed of one ``(device, cycle)`` calibration snapshot.
+
+    Derived with ``hashlib.sha256`` over explicit bytes — **never** Python's
+    ``hash()``, whose string hashing is randomised per process
+    (``PYTHONHASHSEED``).  This derivation is therefore stable across
+    processes, interpreter restarts and machines, which the experiment store
+    relies on: store keys embed the calibration *content* fingerprint, so a
+    process-dependent seed would silently orphan every cached result.  The
+    cross-process regression test lives in
+    ``tests/test_store.py::TestCalibrationDeterminism``.
+
+    The sampled values additionally depend only on this seed and the draw
+    sequence of :func:`generate_calibration` (NumPy ``default_rng``), both of
+    which are platform-stable.
+    """
     digest = hashlib.sha256(f"{device.name}:{cycle}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
@@ -155,7 +171,7 @@ def generate_calibration(
     keeps every experiment in the harness reproducible.  Passing an explicit
     ``rng`` overrides the deterministic seeding (used by property-based tests).
     """
-    rng = rng or np.random.default_rng(_seed_for(device, cycle))
+    rng = rng or np.random.default_rng(calibration_seed(device, cycle))
 
     qubits: Dict[int, QubitCalibration] = {}
     for q in range(device.num_qubits):

@@ -53,6 +53,7 @@ from .program import (
     WINDOW_NOISE_PRIORITY,
     CompiledNoisyProgram,
     ProgramCache,
+    process_cache_stats,
 )
 
 __all__ = [
@@ -326,6 +327,24 @@ class ProgramCompilerMixin:
     def _programs(self) -> Dict[object, CompiledNoisyProgram]:
         """The live compile-cache entries (exposed for tests/diagnostics)."""
         return self._program_cache.entries
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregated cache-efficacy counters for this executor.
+
+        Per-executor ``stats`` (``program_compiles`` / ``program_hits`` /
+        ``jobs_run``) only tell part of the story: the process-level caches
+        (gate matrices, rotations, resolved noise operators) are shared by
+        *every* executor in the process, so their sizes are folded in here
+        under ``process_*`` keys, along with the live compile-cache entry
+        count.  ``repro ls --stats`` surfaces the same aggregation alongside
+        the experiment store's cumulative hit/miss counters, which is how
+        cache efficacy across a whole sweep is observed.
+        """
+        merged = dict(self.stats)
+        merged["cached_programs"] = len(self._program_cache.entries)
+        for name, value in process_cache_stats().items():
+            merged[f"process_{name}"] = value
+        return merged
 
     def compile(
         self, circuit: QuantumCircuit, gst: Optional[GateSequenceTable] = None

@@ -1,0 +1,35 @@
+"""Resumable sweep orchestration over the experiment store.
+
+The paper's artifacts are sweeps: devices x calibration cycles x DD policies
+x workloads x seeds.  This package turns a *declarative* description of such
+a sweep (:class:`~repro.runtime.spec.SweepSpec`) into a task DAG
+(:class:`~repro.runtime.spec.TaskSpec` leaves plus an aggregating summary
+node), resolves every task to its content-addressed store key, skips the ones
+the store already holds, fans the rest out over the existing
+worker-pool machinery (:func:`repro.hardware.batch.create_worker_pool`), and
+checkpoints each result into the store the moment it completes — so an
+interrupted sweep resumes with zero recomputation of finished tasks.
+
+Entry points:
+
+* :class:`~repro.runtime.orchestrator.SweepOrchestrator` — the programmatic
+  API;
+* ``python -m repro sweep`` — the CLI front-end (:mod:`repro.cli`).
+"""
+
+from .orchestrator import SweepOrchestrator, SweepReport, TaskResult
+from .spec import SweepSpec, TaskSpec, expand_sweep, smoke_spec
+from .tasks import available_task_kinds, resolve_task_key, run_task
+
+__all__ = [
+    "SweepOrchestrator",
+    "SweepReport",
+    "SweepSpec",
+    "TaskResult",
+    "TaskSpec",
+    "available_task_kinds",
+    "expand_sweep",
+    "resolve_task_key",
+    "run_task",
+    "smoke_spec",
+]

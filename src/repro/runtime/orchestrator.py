@@ -1,0 +1,336 @@
+"""The resumable sweep orchestrator.
+
+Scheduling model: the expanded task list is a DAG (independent experiment
+leaves plus aggregate nodes whose ``deps`` name their inputs).  The
+orchestrator repeatedly takes the *ready frontier* — tasks whose dependencies
+are all settled — and for each ready task:
+
+1. looks its content-addressed key up in the store: a hit means the task is
+   **skipped** (this is also how resumption works: there is no separate
+   resume protocol, a re-run of the same spec simply finds its finished
+   prefix in the store);
+2. otherwise executes it — inline, or fanned out over a ``fork`` worker pool
+   (:func:`repro.hardware.batch.create_worker_pool`) — and **checkpoints**
+   the result into the store immediately, before scheduling anything else
+   from the next frontier.
+
+Interruption at any point (``KeyboardInterrupt``, a killed worker, a crashed
+machine) therefore loses at most the tasks in flight; everything completed is
+durable.  A journal under ``<store>/sweeps/`` records the latest status of
+every task for ``repro report``.
+
+Determinism: tasks carry explicit seeds in their parameters, so executing
+them in a pool, in any order, or across interrupted sessions produces
+bit-identical records — asserted end-to-end by
+``benchmarks/test_perf_store.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..store.keys import fingerprint
+from ..store.store import ExperimentStore
+from .spec import SweepSpec, TaskSpec, expand_sweep
+from .tasks import merged_params, run_task
+
+__all__ = ["TaskResult", "SweepReport", "SweepOrchestrator"]
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task inside one orchestrator run."""
+
+    task_id: str
+    kind: str
+    key: str
+    status: str  # "cached" | "executed" | "failed" | "blocked" | "pending"
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepReport:
+    """What one orchestrator run did (not the results themselves — those are
+    in the store, addressed by each task's key)."""
+
+    name: str
+    sweep_key: str
+    tasks: List[TaskResult] = field(default_factory=list)
+    interrupted: bool = False
+
+    def _by_status(self, status: str) -> List[TaskResult]:
+        return [t for t in self.tasks if t.status == status]
+
+    @property
+    def executed(self) -> List[TaskResult]:
+        return self._by_status("executed")
+
+    @property
+    def cached(self) -> List[TaskResult]:
+        return self._by_status("cached")
+
+    @property
+    def failed(self) -> List[TaskResult]:
+        return self._by_status("failed")
+
+    @property
+    def pending(self) -> List[TaskResult]:
+        return [t for t in self.tasks if t.status in ("pending", "blocked")]
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name}: {len(self.executed)} executed,"
+            f" {len(self.cached)} cached, {len(self.failed)} failed,"
+            f" {len(self.pending)} pending"
+        )
+
+
+def _execute_remote(payload):
+    """Worker-side task execution (top-level for pickling under fork).
+
+    Returns ``(meta, arrays, seconds)`` — the worker measures its own wall
+    time, since the parent only observes future-wait time, which is wrong
+    for every task but the slowest in a frontier.
+    """
+    kind, params, store_root = payload
+    store = None if store_root is None else ExperimentStore(store_root)
+    start = time.perf_counter()
+    meta, arrays = run_task(kind, params, store)
+    return meta, arrays, time.perf_counter() - start
+
+
+class SweepOrchestrator:
+    """Expands sweep specs, skips stored tasks, runs and checkpoints the rest.
+
+    Args:
+        store: the experiment store all results flow through.
+        n_workers: fan ready tasks out over this many ``fork`` worker
+            processes (1 = inline).  Workers open their own store handle on
+            the same root; atomic-rename writes keep concurrent writers safe.
+        progress: optional callable invoked with one line per settled task
+            (the CLI passes ``print``).
+    """
+
+    def __init__(
+        self,
+        store: ExperimentStore,
+        n_workers: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.n_workers = max(1, int(n_workers))
+        self._progress = progress or (lambda line: None)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: "SweepSpec | Sequence[SweepSpec] | Sequence[TaskSpec]",
+        name: Optional[str] = None,
+        recompute: bool = False,
+        max_executions: Optional[int] = None,
+    ) -> SweepReport:
+        """Run a sweep to completion (or until the execution budget is spent).
+
+        Args:
+            spec: a sweep spec, several specs fused into one DAG, or an
+                already-expanded task list.
+            recompute: execute every task even when its key is stored
+                (results are re-written; used to validate determinism).
+            max_executions: stop scheduling new *executions* after this many
+                (cache hits don't count).  Tasks left behind are reported as
+                ``pending`` — this is the hook the interrupt-and-resume tests
+                use to simulate a killed sweep deterministically.
+        """
+        tasks = self._expand(spec)
+        name = name or (spec.name if isinstance(spec, SweepSpec) else "sweep")
+        sweep_key = fingerprint(
+            {"name": name, "tasks": sorted(t.key for t in tasks)}
+        )
+        report = SweepReport(name=name, sweep_key=sweep_key)
+        results: Dict[str, TaskResult] = {
+            t.task_id: TaskResult(t.task_id, t.kind, t.key, "pending") for t in tasks
+        }
+        report.tasks = [results[t.task_id] for t in tasks]
+        by_id = {t.task_id: t for t in tasks}
+        done: set = set()
+        failed: set = set()
+        budget = [max_executions]
+
+        pool = None
+        if self.n_workers > 1:
+            from ..hardware.batch import create_worker_pool
+
+            pool = create_worker_pool(self.n_workers)
+        try:
+            while True:
+                ready = [
+                    t
+                    for t in tasks
+                    if results[t.task_id].status == "pending"
+                    and all(dep in done for dep in t.deps)
+                ]
+                if not ready:
+                    break
+                progressed = self._run_frontier(
+                    ready, results, done, recompute, budget, pool
+                )
+                self._write_journal(name, sweep_key, tasks, results)
+                if not progressed:
+                    break
+            failed.update(
+                t.task_id for t in tasks if results[t.task_id].status == "failed"
+            )
+            for task in tasks:
+                if results[task.task_id].status == "pending" and any(
+                    dep in failed for dep in task.deps
+                ):
+                    results[task.task_id].status = "blocked"
+        except KeyboardInterrupt:
+            report.interrupted = True
+        finally:
+            if pool is not None:
+                # On interrupt, drop everything still queued — a Ctrl-C must
+                # not block on a frontier's worth of unstarted tasks.  The
+                # store already holds every completed result, so the next
+                # run resumes exactly where this one stopped.
+                pool.shutdown(cancel_futures=report.interrupted)
+            self._write_journal(name, sweep_key, tasks, results)
+            self.store.flush_session_stats()
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, spec) -> List[TaskSpec]:
+        if isinstance(spec, SweepSpec):
+            return expand_sweep(spec)
+        spec = list(spec)
+        if spec and isinstance(spec[0], SweepSpec):
+            return expand_sweep(spec)
+        return spec
+
+    def _settle(self, result: TaskResult, status: str, seconds: float = 0.0) -> None:
+        result.status = status
+        result.seconds = seconds
+        self._progress(
+            f"[{status:>8}] {result.task_id}"
+            + (f" ({seconds:.2f}s)" if status == "executed" else "")
+        )
+
+    def _run_frontier(
+        self,
+        ready: List[TaskSpec],
+        results: Dict[str, TaskResult],
+        done: set,
+        recompute: bool,
+        budget: List[Optional[int]],
+        pool,
+    ) -> bool:
+        """Settle one ready frontier.  Returns False when nothing progressed
+        (budget exhausted with only executable tasks left)."""
+        progressed = False
+        to_execute: List[TaskSpec] = []
+        for task in ready:
+            if not recompute and self.store.contains(task.key):
+                self._settle(results[task.task_id], "cached")
+                done.add(task.task_id)
+                progressed = True
+            else:
+                to_execute.append(task)
+        if budget[0] is not None:
+            allowed = max(0, budget[0])
+            to_execute, deferred = to_execute[:allowed], to_execute[allowed:]
+        else:
+            deferred = []
+        if to_execute and pool is not None:
+            progressed |= self._execute_pooled(to_execute, results, done, pool)
+        else:
+            for task in to_execute:
+                progressed |= self._execute_inline(task, results, done)
+        if budget[0] is not None:
+            budget[0] -= len(to_execute)
+        # Deferred tasks stay "pending"; with an exhausted budget and no other
+        # progress the main loop terminates rather than spinning.
+        return progressed or (not deferred and not to_execute)
+
+    def _execute_inline(
+        self, task: TaskSpec, results: Dict[str, TaskResult], done: set
+    ) -> bool:
+        start = time.perf_counter()
+        try:
+            meta, arrays = run_task(task.kind, task.params, self.store)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - a task failure must not kill the sweep
+            self._settle(results[task.task_id], "failed")
+            results[task.task_id].error = f"{type(exc).__name__}: {exc}"
+            return True
+        self.store.put(task.key, meta, arrays)
+        self._settle(results[task.task_id], "executed", time.perf_counter() - start)
+        done.add(task.task_id)
+        return True
+
+    def _execute_pooled(
+        self, tasks: List[TaskSpec], results: Dict[str, TaskResult], done: set, pool
+    ) -> bool:
+        payloads = [
+            (t.kind, merged_params(t.kind, t.params), str(self.store.root))
+            for t in tasks
+        ]
+        futures = [pool.submit(_execute_remote, payload) for payload in payloads]
+        progressed = False
+        for task, future in zip(tasks, futures):
+            try:
+                meta, arrays, seconds = future.result()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001
+                self._settle(results[task.task_id], "failed")
+                results[task.task_id].error = f"{type(exc).__name__}: {exc}"
+                progressed = True
+                continue
+            self.store.put(task.key, meta, arrays)
+            self._settle(results[task.task_id], "executed", seconds)
+            done.add(task.task_id)
+            progressed = True
+        return progressed
+
+    # ------------------------------------------------------------------
+
+    def _write_journal(
+        self,
+        name: str,
+        sweep_key: str,
+        tasks: List[TaskSpec],
+        results: Dict[str, TaskResult],
+    ) -> None:
+        """Checkpoint the sweep's status under ``<store>/sweeps/``.
+
+        The journal is bookkeeping for ``repro report`` — resumption itself
+        never reads it (the store's keys are the source of truth), so a lost
+        or stale journal can not corrupt a sweep.
+        """
+        safe_name = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+        path = self.store.sweeps_dir / f"{safe_name}-{sweep_key[:12]}.json"
+        payload = {
+            "name": name,
+            "sweep_key": sweep_key,
+            "updated_at": time.time(),
+            "tasks": {
+                t.task_id: {
+                    "kind": t.kind,
+                    "key": t.key,
+                    "status": results[t.task_id].status,
+                    "seconds": results[t.task_id].seconds,
+                    "error": results[t.task_id].error,
+                }
+                for t in tasks
+            },
+        }
+        self.store._atomic_write(
+            path, json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        )

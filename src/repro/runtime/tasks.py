@@ -1,0 +1,549 @@
+"""The task-kind registry: experiment drivers as schedulable, keyable units.
+
+Each registered kind binds three things:
+
+* ``axes`` — which sweep axes it consumes (``device`` / ``cycle`` /
+  ``workload`` / ``seed``), used by :func:`repro.runtime.spec.expand_sweep`;
+* ``defaults`` — the kind's budget knobs.  Defaults are merged into the
+  parameters *before* key resolution, so an explicit ``shots=4096`` and a
+  defaulted one produce the same key;
+* ``execute`` — the driver call.  Drivers receive the store, so their own
+  fine-grained (content-keyed) records are populated alongside the
+  orchestrator's task records.
+
+Task keys are :func:`repro.store.keys.task_key` over the merged parameters
+plus the **calibration content fingerprint** of every ``(device, cycle)``
+the task touches — the store invalidates itself when the calibration model
+changes.  Fingerprints are memoized per process; resolving keys for a
+thousand-task sweep costs milliseconds, which is what makes warm re-runs of
+whole sweeps near-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.backend import Backend
+from ..hardware.calibration import generate_calibration
+from ..hardware.devices import get_device
+from ..store.keys import calibration_fingerprint, task_key
+from .spec import TaskSpec
+
+__all__ = [
+    "TaskKind",
+    "available_task_kinds",
+    "axes_of",
+    "register_task_kind",
+    "resolve_task_key",
+    "run_task",
+    "summary_task",
+]
+
+Arrays = Dict[str, object]
+ExecuteFn = Callable[[Dict[str, object], Optional[object]], Tuple[dict, Arrays]]
+
+
+@dataclass(frozen=True)
+class TaskKind:
+    """One registered experiment-task kind."""
+
+    name: str
+    axes: Tuple[str, ...]
+    defaults: Dict[str, object]
+    execute: ExecuteFn
+    #: extra key ingredients beyond merged params (calibration fingerprints)
+    key_extras: Callable[[Dict[str, object]], Dict[str, object]]
+
+
+_REGISTRY: Dict[str, TaskKind] = {}
+
+#: Parameters that change *how* a task runs but never *what* it computes
+#: (worker fan-out and batching are result-invariant by the seed protocol).
+_NON_KEY_PARAMS = ("n_workers", "use_batch")
+
+
+def register_task_kind(kind: TaskKind) -> TaskKind:
+    """Register a task kind (the built-ins below use this too).
+
+    Custom kinds slot into sweeps and the CLI exactly like the built-ins;
+    their ``key_extras`` must fold in every result-determining ingredient
+    that is not already in the parameters (calibration fingerprints for any
+    backend touched).
+    """
+    _REGISTRY[kind.name] = kind
+    return kind
+
+
+_register = register_task_kind
+
+
+def available_task_kinds() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _get_kind(name: str) -> TaskKind:
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown task kind '{name}'; registered kinds: {available_task_kinds()}"
+        ) from exc
+
+
+def axes_of(kind: str) -> Tuple[str, ...]:
+    return _get_kind(kind).axes
+
+
+#: Parameter name each sweep axis supplies ("cycle" is optional — every kind
+#: with a cycle axis carries ``cycle: 0`` in its defaults, so an omitted
+#: cycle and an explicit cycle=0 resolve to the same key).
+_AXIS_PARAMS = {"device": "device", "workload": "benchmark", "seed": "seed"}
+
+
+def required_params(kind: str) -> Tuple[str, ...]:
+    """Parameters a task of this kind cannot run without (beyond defaults)."""
+    return tuple(
+        _AXIS_PARAMS[axis] for axis in _get_kind(kind).axes if axis in _AXIS_PARAMS
+    )
+
+
+def merged_params(kind: str, params: Dict[str, object]) -> Dict[str, object]:
+    merged = dict(_get_kind(kind).defaults)
+    merged.update(params)
+    return merged
+
+
+def resolve_task_key(kind: str, params: Dict[str, object]) -> str:
+    """The content-addressed store key of one task."""
+    spec = _get_kind(kind)
+    merged = merged_params(kind, params)
+    keyed = {k: v for k, v in merged.items() if k not in _NON_KEY_PARAMS}
+    keyed.update(spec.key_extras(merged))
+    return task_key(kind, keyed)
+
+
+def run_task(kind: str, params: Dict[str, object], store=None) -> Tuple[dict, Arrays]:
+    """Execute one task and return its ``(meta, arrays)`` record payload."""
+    spec = _get_kind(kind)
+    return spec.execute(merged_params(kind, params), store)
+
+
+# ---------------------------------------------------------------------------
+# Calibration fingerprint memo
+# ---------------------------------------------------------------------------
+
+_FP_CACHE: Dict[Tuple[str, int], str] = {}
+
+
+def _calibration_fp(device_name: str, cycle: int) -> str:
+    key = (str(device_name), int(cycle))
+    if key not in _FP_CACHE:
+        device = get_device(key[0])
+        _FP_CACHE[key] = calibration_fingerprint(
+            generate_calibration(device, cycle=key[1])
+        )
+    return _FP_CACHE[key]
+
+
+def _backend(params: Dict[str, object]) -> Backend:
+    return Backend.from_name(str(params["device"]), cycle=int(params.get("cycle", 0)))
+
+
+def _cal_extras(params: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "calibration": _calibration_fp(
+            str(params["device"]), int(params.get("cycle", 0))
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# Kind implementations
+# ---------------------------------------------------------------------------
+
+
+def _execute_figure1(params, store):
+    from ..analysis.motivation import figure1_motivation_study
+
+    values = figure1_motivation_study(
+        backend=_backend(params),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        store=store,
+    )
+    return {"kind": "figure1", "values": values}, {}
+
+
+_register(
+    TaskKind(
+        name="figure1",
+        axes=("device", "cycle", "seed"),
+        defaults={"cycle": 0, "shots": 4096},
+        execute=_execute_figure1,
+        key_extras=_cal_extras,
+    )
+)
+
+
+def _execute_table1(params, store):
+    from ..analysis.motivation import table1_idle_fractions
+    from ..store.records import encode_rows
+
+    rows = table1_idle_fractions(
+        device_name=str(params["device"]),
+        benchmarks=tuple(params["benchmarks"]),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        store=store,
+    )
+    return encode_rows("table1", rows)
+
+
+_register(
+    TaskKind(
+        name="table1",
+        axes=("device", "seed"),
+        defaults={"benchmarks": ["QFT-5", "QAOA-5", "ADDER-4"], "shots": 4096},
+        execute=_execute_table1,
+        key_extras=lambda p: {"calibration": _calibration_fp(str(p["device"]), 0)},
+    )
+)
+
+
+def _execute_swap_idle(params, store):
+    from dataclasses import asdict
+
+    from ..analysis.motivation import figure3_swap_idle_study
+    from ..store.records import encode_rows
+
+    records = figure3_swap_idle_study(
+        sizes=tuple(int(s) for s in params["sizes"]),
+        device_name=str(params["device"]),
+        store=store,
+    )
+    return encode_rows("swap_idle", [asdict(r) for r in records])
+
+
+_register(
+    TaskKind(
+        name="swap_idle",
+        axes=("device",),
+        defaults={"sizes": [4, 5, 6, 7, 8]},
+        execute=_execute_swap_idle,
+        key_extras=lambda p: {"calibration": _calibration_fp(str(p["device"]), 0)},
+    )
+)
+
+
+def _execute_idling_study(params, store):
+    from ..analysis.characterization import DEFAULT_THETAS, single_qubit_idling_study
+    from ..store.records import encode_rows
+
+    link = params.get("active_link")
+    rows = single_qubit_idling_study(
+        backend=_backend(params),
+        idle_qubit=int(params["idle_qubit"]),
+        active_link=None if link is None else tuple(int(q) for q in link),
+        idle_ns=float(params["idle_ns"]),
+        thetas=tuple(params.get("thetas") or DEFAULT_THETAS),
+        dd_sequence=str(params["dd_sequence"]),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        store=store,
+    )
+    return encode_rows("idling_study", rows)
+
+
+_register(
+    TaskKind(
+        name="idling_study",
+        axes=("device", "cycle", "seed"),
+        defaults={
+            "cycle": 0,
+            "idle_qubit": 0,
+            "active_link": None,
+            "idle_ns": 1200.0,
+            "thetas": None,
+            "dd_sequence": "xy4",
+            "shots": 2048,
+        },
+        execute=_execute_idling_study,
+        key_extras=_cal_extras,
+    )
+)
+
+
+def _execute_characterization(params, store):
+    from dataclasses import asdict
+
+    from ..analysis.characterization import DEFAULT_THETAS, full_device_characterization
+    from ..store.records import encode_rows
+
+    records = full_device_characterization(
+        backend=_backend(params),
+        idle_ns=float(params["idle_ns"]),
+        thetas=tuple(params.get("thetas") or DEFAULT_THETAS),
+        dd_sequence=str(params["dd_sequence"]),
+        shots=int(params["shots"]),
+        max_combinations=params.get("max_combinations"),
+        seed=int(params["seed"]),
+        store=store,
+    )
+    return encode_rows("characterization", [asdict(r) for r in records])
+
+
+_register(
+    TaskKind(
+        name="characterization",
+        axes=("device", "cycle", "seed"),
+        defaults={
+            "cycle": 0,
+            "idle_ns": 8000.0,
+            "thetas": None,
+            "dd_sequence": "xy4",
+            "shots": 1024,
+            "max_combinations": None,
+        },
+        execute=_execute_characterization,
+        key_extras=_cal_extras,
+    )
+)
+
+
+def _execute_drift(params, store):
+    from ..analysis.characterization import DEFAULT_THETAS, calibration_drift_study
+    from ..store.records import jsonable
+
+    results = calibration_drift_study(
+        device_name=str(params["device"]),
+        idle_qubit=int(params["idle_qubit"]),
+        link=tuple(int(q) for q in params["link"]),
+        cycles=tuple(int(c) for c in params["cycles"]),
+        idle_ns=float(params["idle_ns"]),
+        thetas=tuple(params.get("thetas") or DEFAULT_THETAS),
+        dd_sequence=str(params["dd_sequence"]),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        store=store,
+    )
+    meta = {
+        "kind": "drift",
+        "cycles": {str(cycle): jsonable(rows) for cycle, rows in results.items()},
+    }
+    return meta, {}
+
+
+_register(
+    TaskKind(
+        name="drift",
+        axes=("device", "seed"),
+        defaults={
+            "cycles": [0, 1],
+            "idle_qubit": 0,
+            "link": [1, 2],
+            "idle_ns": 2400.0,
+            "thetas": None,
+            "dd_sequence": "xy4",
+            "shots": 2048,
+        },
+        execute=_execute_drift,
+        key_extras=lambda p: {
+            "calibrations": [
+                _calibration_fp(str(p["device"]), int(c)) for c in p["cycles"]
+            ]
+        },
+    )
+)
+
+
+def _execute_pulse_type(params, store):
+    from ..analysis.characterization import pulse_type_study
+    from ..store.records import encode_rows
+
+    link = params.get("active_link")
+    rows = pulse_type_study(
+        backend=_backend(params),
+        idle_qubit=int(params["idle_qubit"]),
+        active_link=None if link is None else tuple(int(q) for q in link),
+        idle_times_ns=tuple(float(t) for t in params["idle_times_ns"]),
+        theta=float(params["theta"]),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        max_probe_qubits=params.get("max_probe_qubits"),
+        store=store,
+    )
+    return encode_rows("pulse_type", rows)
+
+
+_register(
+    TaskKind(
+        name="pulse_type",
+        axes=("device", "cycle", "seed"),
+        defaults={
+            "cycle": 0,
+            "idle_qubit": 0,
+            "active_link": None,
+            "idle_times_ns": [1000.0, 2000.0, 4000.0, 8000.0, 16000.0],
+            "theta": 1.5707963267948966,
+            "shots": 2048,
+            "max_probe_qubits": 8,
+        },
+        execute=_execute_pulse_type,
+        key_extras=_cal_extras,
+    )
+)
+
+
+def _execute_policy_comparison(params, store):
+    from ..analysis.evaluation_runs import EvaluationConfig, run_policy_comparison
+    from ..store.records import encode_evaluation
+
+    config = EvaluationConfig(
+        dd_sequence=str(params["dd_sequence"]),
+        shots=int(params["shots"]),
+        decoy_shots=int(params["decoy_shots"]),
+        trajectories=int(params["trajectories"]),
+        include_runtime_best=bool(params["include_runtime_best"]),
+        runtime_best_max_evaluations=int(params["runtime_best_max_evaluations"]),
+        seed=int(params["seed"]),
+        adapt_decoy_kind=str(params["adapt_decoy_kind"]),
+        adapt_group_size=int(params["adapt_group_size"]),
+        engine=str(params["engine"]),
+        final_engine=str(params["final_engine"]),
+        use_batch=bool(params.get("use_batch", True)),
+        n_workers=1,  # the orchestrator owns the fan-out level
+    )
+    evaluation = run_policy_comparison(
+        str(params["benchmark"]), _backend(params), config, store=store
+    )
+    meta, arrays = encode_evaluation(evaluation)
+    meta["task"] = {
+        "benchmark": str(params["benchmark"]),
+        "device": str(params["device"]),
+        "cycle": int(params.get("cycle", 0)),
+        "seed": int(params["seed"]),
+    }
+    return meta, arrays
+
+
+_register(
+    TaskKind(
+        name="policy_comparison",
+        axes=("device", "cycle", "workload", "seed"),
+        defaults={
+            "cycle": 0,
+            "dd_sequence": "xy4",
+            "shots": 4096,
+            "decoy_shots": 2048,
+            "trajectories": 100,
+            "include_runtime_best": True,
+            "runtime_best_max_evaluations": 32,
+            "adapt_decoy_kind": "sdc",
+            "adapt_group_size": 4,
+            "engine": "auto",
+            "final_engine": "auto_dense",
+        },
+        execute=_execute_policy_comparison,
+        key_extras=_cal_extras,
+    )
+)
+
+
+def _execute_decoy_correlation(params, store):
+    from ..analysis.decoy_quality import decoy_correlation_study
+    from ..store.records import encode_decoy_correlation
+
+    result = decoy_correlation_study(
+        benchmark=str(params["benchmark"]),
+        backend=_backend(params),
+        decoy_kind=str(params["decoy_kind"]),
+        dd_sequence=str(params["dd_sequence"]),
+        shots=int(params["shots"]),
+        seed=int(params["seed"]),
+        max_qubits=int(params["max_qubits"]),
+        store=store,
+    )
+    return encode_decoy_correlation(result)
+
+
+_register(
+    TaskKind(
+        name="decoy_correlation",
+        axes=("device", "cycle", "workload", "seed"),
+        defaults={
+            "cycle": 0,
+            "decoy_kind": "cdc",
+            "dd_sequence": "xy4",
+            "shots": 2048,
+            "max_qubits": 6,
+        },
+        execute=_execute_decoy_correlation,
+        key_extras=_cal_extras,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# The summary node (DAG root)
+# ---------------------------------------------------------------------------
+
+
+def _headline(meta: dict):
+    """One glanceable number per record kind, for ``repro report``."""
+    kind = meta.get("kind")
+    if kind == "benchmark_evaluation":
+        outcomes = meta.get("outcomes", {})
+        adapt = outcomes.get("adapt")
+        if adapt:
+            return {"adapt_relative_fidelity": adapt["relative_fidelity"]}
+        return {"policies": sorted(outcomes)}
+    if kind == "decoy_correlation":
+        return {"correlation": meta.get("correlation")}
+    if kind == "figure1":
+        values = meta.get("values", {})
+        best = max(values, key=values.get) if values else None
+        return {"best_option": best}
+    if "rows" in meta:
+        return {"rows": len(meta["rows"])}
+    if "cycles" in meta:
+        return {"cycles": sorted(meta["cycles"])}
+    return {}
+
+
+def _execute_summary(params, store):
+    if store is None:
+        raise ValueError("sweep_summary needs the store to read its inputs")
+    tasks: Dict[str, str] = dict(params["tasks"])
+    entries = {}
+    for task_id, key in sorted(tasks.items()):
+        record = store.get(key)
+        entries[task_id] = {
+            "key": key,
+            "kind": None if record is None else record.kind,
+            "headline": {} if record is None else _headline(record.meta),
+        }
+    return {"kind": "sweep_summary", "tasks": entries}, {}
+
+
+_register(
+    TaskKind(
+        name="sweep_summary",
+        axes=(),
+        defaults={},
+        execute=_execute_summary,
+        key_extras=lambda p: {},
+    )
+)
+
+
+def summary_task(leaves: Sequence[TaskSpec]) -> TaskSpec:
+    """The DAG root: aggregates every leaf record after they all complete."""
+    params = {"tasks": {leaf.task_id: leaf.key for leaf in leaves}}
+    return TaskSpec(
+        kind="sweep_summary",
+        params=params,
+        task_id="sweep_summary",
+        key=resolve_task_key("sweep_summary", params),
+        deps=tuple(leaf.task_id for leaf in leaves),
+    )

@@ -1,0 +1,453 @@
+"""The two-tier experiment store.
+
+On-disk layout (all paths under one *store root*)::
+
+    <root>/
+      objects/<kk>/<key>.json    -- JSON manifest (schema, kind, meta, array names)
+      objects/<kk>/<key>.npz     -- numpy arrays (only when the record has any)
+      sweeps/<name>.json         -- sweep checkpoint journals (repro.runtime)
+      stats.json                 -- cumulative hit/miss counters across sessions
+
+where ``<kk>`` is the first two hex characters of the key (fan-out keeps
+directory listings short on large stores).
+
+Write protocol — safe under concurrent writers:
+
+1. arrays (if any) are written to a unique temporary file in the *final
+   directory* and published with :func:`os.replace` (atomic on POSIX);
+2. the manifest is written the same way, **last**.
+
+A record therefore *exists* exactly when its manifest is readable, and a
+manifest never references arrays that were not fully written by the same
+writer.  Two processes racing on one key both write valid artifacts; the
+last rename wins and every reader sees one complete version.  Readers treat
+any undecodable manifest or unloadable ``.npz`` as a cache miss, quarantine
+the files (delete them) and recompute — a crash mid-write can never poison
+the store.
+
+The in-memory tier is a per-process LRU over decoded records: sweeps that
+revisit a key (ADAPT re-scoring, report generation after a run) skip the
+JSON/npz decode entirely.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .keys import SCHEMA_VERSION
+
+__all__ = ["StoreRecord", "ExperimentStore", "default_store_root"]
+
+
+def default_store_root() -> str:
+    """The CLI's default store location (override with ``REPRO_STORE``)."""
+    return os.environ.get("REPRO_STORE", os.path.join(".", ".repro-store"))
+
+
+@dataclass
+class StoreRecord:
+    """One stored experiment result: JSON metadata plus optional arrays."""
+
+    key: str
+    meta: Dict[str, object]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+    created_at: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        return str(self.meta.get("kind", "unknown"))
+
+
+class ExperimentStore:
+    """Content-addressed result store: in-memory LRU over on-disk artifacts.
+
+    Args:
+        root: store directory (created on first write).
+        max_memory_entries: size of the in-process LRU tier.  ``0`` disables
+            the memory tier (every ``get`` decodes from disk — used by tests).
+    """
+
+    def __init__(self, root: Optional[str] = None, max_memory_entries: int = 256) -> None:
+        self.root = Path(root if root is not None else default_store_root())
+        self.max_memory_entries = max(0, int(max_memory_entries))
+        self._memory: Dict[str, StoreRecord] = {}
+        #: Session counters: memory/disk hits, misses, writes, corrupt drops.
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "corrupt_dropped": 0,
+            "probe_hits": 0,
+            "probe_misses": 0,
+        }
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def sweeps_dir(self) -> Path:
+        return self.root / "sweeps"
+
+    def _bucket(self, key: str) -> Path:
+        return self.objects_dir / key[:2]
+
+    def _manifest_path(self, key: str) -> Path:
+        return self._bucket(key) / f"{key}.json"
+
+    def _arrays_path(self, key: str) -> Path:
+        return self._bucket(key) / f"{key}.npz"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        """Publish ``data`` at ``path`` via a unique temp file + atomic rename.
+
+        The temp name carries pid + thread id + random bytes so concurrent
+        writers (threads, fork workers, independent processes) can never
+        collide on the scratch file; uniqueness never relies on shared state.
+        """
+        import threading
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".tmp-{os.getpid()}-{threading.get_ident():x}"
+            f"-{os.urandom(6).hex()}-{path.name}"
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed replace
+                tmp.unlink()
+
+    # -- core API -------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        meta: Dict[str, object],
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> StoreRecord:
+        """Store a record (arrays first, manifest last — see module docs)."""
+        arrays = {str(k): np.asarray(v) for k, v in (arrays or {}).items()}
+        record = StoreRecord(
+            key=key, meta=dict(meta), arrays=arrays, created_at=time.time()
+        )
+        if arrays:
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            self._atomic_write(self._arrays_path(key), buffer.getvalue())
+        manifest = {
+            "schema": record.schema,
+            "key": key,
+            "kind": record.kind,
+            "created_at": record.created_at,
+            "arrays": sorted(arrays),
+            "meta": record.meta,
+        }
+        self._atomic_write(
+            self._manifest_path(key),
+            json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8"),
+        )
+        self.stats["writes"] += 1
+        self._remember(record)
+        return record
+
+    def get(self, key: str) -> Optional[StoreRecord]:
+        """Fetch a record, or ``None`` on miss / corrupt artifact."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory[key] = self._memory.pop(key)  # LRU refresh
+            self.stats["memory_hits"] += 1
+            return self._checkout(cached)
+        manifest_path = self._manifest_path(key)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if manifest.get("key") != key or "meta" not in manifest:
+                raise ValueError("manifest does not describe this key")
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (json.JSONDecodeError, ValueError, OSError):
+            self._quarantine(key)
+            self.stats["misses"] += 1
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        if manifest.get("arrays"):
+            import zipfile
+
+            try:
+                with np.load(self._arrays_path(key)) as bundle:
+                    names = set(manifest["arrays"])
+                    if not names.issubset(bundle.files):
+                        raise ValueError("arrays missing from bundle")
+                    arrays = {name: bundle[name] for name in names}
+            except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+                # Partial write (manifest from an old complete record but a
+                # later crashed arrays rewrite, or filesystem damage).
+                self._quarantine(key)
+                self.stats["misses"] += 1
+                return None
+        record = StoreRecord(
+            key=key,
+            meta=manifest["meta"],
+            arrays=arrays,
+            schema=int(manifest.get("schema", -1)),
+            created_at=float(manifest.get("created_at", 0.0)),
+        )
+        if record.schema != SCHEMA_VERSION:
+            # Readable but written by another schema: treat as a miss, leave
+            # the files for `gc` to reclaim (so downgrades don't destroy data).
+            self.stats["misses"] += 1
+            return None
+        self.stats["disk_hits"] += 1
+        self._remember(record)
+        return record
+
+    def contains(self, key: str) -> bool:
+        """Existence probe (manifest validated, arrays not decoded).
+
+        This is the orchestrator's skip-or-run decision, so it must agree
+        with what ``get`` would do: an unreadable or wrong-schema manifest is
+        *not* present — otherwise a damaged record would be skipped forever
+        instead of recomputed on resume.  The array bundle is not opened
+        (that cost stays on the ``get`` path); a truncated ``.npz`` behind a
+        valid manifest is caught by ``get`` when the record is actually read.
+        Probes are counted separately (``probe_*``) from the decoding ``get``
+        path so ``repro ls --stats`` can report how much of a sweep was
+        served from the store.
+        """
+        present = key in self._memory or self._valid_manifest(key)
+        self.stats["probe_hits" if present else "probe_misses"] += 1
+        return present
+
+    def _valid_manifest(self, key: str) -> bool:
+        try:
+            with open(self._manifest_path(key), "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return False
+        except (json.JSONDecodeError, OSError):
+            self._quarantine(key)
+            return False
+        return manifest.get("key") == key and manifest.get("schema") == SCHEMA_VERSION
+
+    def delete(self, key: str) -> bool:
+        """Remove a record from both tiers.  Returns True if anything existed."""
+        existed = False
+        self._memory.pop(key, None)
+        for path in (self._manifest_path(key), self._arrays_path(key)):
+            if path.exists():
+                path.unlink()
+                existed = True
+        return existed
+
+    # -- internals ------------------------------------------------------
+
+    def _remember(self, record: StoreRecord) -> None:
+        if self.max_memory_entries <= 0:
+            return
+        # The tier keeps its own deep copy of the metadata and its own frozen
+        # array copies, and hands fresh meta back on every hit (see
+        # _checkout): a caller mutating a result it got from the store must
+        # never poison later reads of the key, and the tier never touches
+        # buffers the caller still owns (a put() must not freeze the caller's
+        # own array as a side effect).
+        arrays = {}
+        for name, array in record.arrays.items():
+            if array.flags.writeable:
+                array = array.copy()
+                array.setflags(write=False)
+            arrays[name] = array
+        self._memory.pop(record.key, None)
+        self._memory[record.key] = self._checkout(
+            StoreRecord(
+                key=record.key,
+                meta=record.meta,
+                arrays=arrays,
+                schema=record.schema,
+                created_at=record.created_at,
+            )
+        )
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    @staticmethod
+    def _checkout(record: StoreRecord) -> StoreRecord:
+        """A hand-out copy: deep-copied meta, shared *frozen* arrays."""
+        import copy
+
+        return StoreRecord(
+            key=record.key,
+            meta=copy.deepcopy(record.meta),
+            arrays=dict(record.arrays),
+            schema=record.schema,
+            created_at=record.created_at,
+        )
+
+    def _quarantine(self, key: str) -> None:
+        """Drop the artifacts of an unreadable record so it gets recomputed."""
+        self.stats["corrupt_dropped"] += 1
+        for path in (self._manifest_path(key), self._arrays_path(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _iter_manifests(self) -> Iterator[Path]:
+        if not self.objects_dir.exists():
+            return
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            yield from sorted(bucket.glob("*.json"))
+
+    # -- listing / maintenance -----------------------------------------
+
+    def keys(self) -> List[str]:
+        return [path.stem for path in self._iter_manifests()]
+
+    def ls(self) -> List[Dict[str, object]]:
+        """Manifest summaries of every record (without decoding arrays)."""
+        rows: List[Dict[str, object]] = []
+        for path in self._iter_manifests():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                rows.append({"key": path.stem, "kind": "<corrupt>", "schema": None})
+                continue
+            arrays_path = self._arrays_path(path.stem)
+            rows.append(
+                {
+                    "key": manifest.get("key", path.stem),
+                    "kind": manifest.get("kind", "unknown"),
+                    "schema": manifest.get("schema"),
+                    "created_at": manifest.get("created_at", 0.0),
+                    "arrays": manifest.get("arrays", []),
+                    "bytes": path.stat().st_size
+                    + (arrays_path.stat().st_size if arrays_path.exists() else 0),
+                }
+            )
+        return rows
+
+    def gc(
+        self,
+        older_than_s: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, List[str]]:
+        """Reclaim space: stale schemas, corrupt records, orphans, temp files.
+
+        Removes (unless ``dry_run``):
+
+        * records whose manifest ``schema`` differs from :data:`SCHEMA_VERSION`;
+        * manifests that no longer parse;
+        * ``.npz`` files with no manifest (crashed before the manifest rename);
+        * leftover ``.tmp-*`` files;
+        * optionally, records older than ``older_than_s`` seconds.
+
+        Returns the removed paths grouped by reason.
+        """
+        removed: Dict[str, List[str]] = {
+            "stale_schema": [],
+            "corrupt": [],
+            "orphan": [],
+            "tmp": [],
+            "expired": [],
+        }
+        now = time.time()
+        if not self.objects_dir.exists():
+            return removed
+
+        def _drop(paths: List[Path], reason: str) -> None:
+            for path in paths:
+                removed[reason].append(str(path))
+                if not dry_run and path.exists():
+                    path.unlink()
+
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for tmp in sorted(bucket.glob(".tmp-*")):
+                _drop([tmp], "tmp")
+            manifests = {path.stem: path for path in bucket.glob("*.json")}
+            for npz in sorted(bucket.glob("*.npz")):
+                if npz.stem not in manifests:
+                    _drop([npz], "orphan")
+            for key, path in sorted(manifests.items()):
+                pair = [path, self._arrays_path(key)]
+                pair = [p for p in pair if p.exists()]
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        manifest = json.load(handle)
+                except (json.JSONDecodeError, OSError):
+                    _drop(pair, "corrupt")
+                    continue
+                if manifest.get("schema") != SCHEMA_VERSION:
+                    _drop(pair, "stale_schema")
+                elif (
+                    older_than_s is not None
+                    and now - float(manifest.get("created_at", 0.0)) > older_than_s
+                ):
+                    _drop(pair, "expired")
+        if not dry_run:
+            dropped = {p for paths in removed.values() for p in paths}
+            self._memory = {
+                k: r
+                for k, r in self._memory.items()
+                if str(self._manifest_path(k)) not in dropped
+            }
+        return removed
+
+    def disk_bytes(self) -> int:
+        total = 0
+        if self.objects_dir.exists():
+            for bucket in self.objects_dir.iterdir():
+                if bucket.is_dir():
+                    total += sum(p.stat().st_size for p in bucket.iterdir())
+        return total
+
+    # -- cumulative stats (surfaced by `repro ls --stats`) --------------
+
+    @property
+    def stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    def flush_session_stats(self) -> Dict[str, int]:
+        """Fold this session's counters into the persistent ``stats.json``.
+
+        The read-merge-rename is not transactional across processes; for the
+        diagnostic counters it feeds (`repro ls --stats`) last-writer-wins on
+        a race is acceptable.
+        """
+        cumulative = self.cumulative_stats()
+        for name, value in self.stats.items():
+            cumulative[name] = int(cumulative.get(name, 0)) + int(value)
+        self._atomic_write(
+            self.stats_path, json.dumps(cumulative, sort_keys=True, indent=1).encode()
+        )
+        for name in self.stats:
+            self.stats[name] = 0
+        return cumulative
+
+    def cumulative_stats(self) -> Dict[str, int]:
+        try:
+            with open(self.stats_path, "r", encoding="utf-8") as handle:
+                return {str(k): int(v) for k, v in json.load(handle).items()}
+        except (FileNotFoundError, json.JSONDecodeError, OSError, ValueError):
+            return {}
