@@ -1,0 +1,121 @@
+"""Performance gates for transpilation at the 127-qubit device scale.
+
+The transpiler used to recompute the all-pairs coupling distance matrix on
+every ``sabre_route`` invocation and run per-pair BFS inside the layout loop
+— tolerable at 27 qubits, prohibitive at 127.  Both now read through the
+process-wide memo of :func:`repro.hardware.topologies.distance_array` (one
+graph traversal per topology).
+
+Gates (nightly, non-blocking — wall-clock measurements are noisy on shared
+runners):
+
+* warm-cache transpile throughput on ``ibm_washington`` must be >= 5x the
+  uncached baseline path (every distance consumer rebuilding per call, i.e.
+  the pre-fix per-call recomputation behaviour);
+* the cached and uncached paths must produce identical physical circuits;
+* a warm 127-qubit transpile must stay in single-digit milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.hardware import Backend, topologies
+from repro.hardware.backend import Backend as BackendClass
+from repro.store.keys import circuit_fingerprint
+from repro.transpiler.transpile import transpile
+from repro.workloads.suite import get_benchmark
+
+from repro.testing import print_section
+
+#: Ratio the warm distance cache must beat over per-call recomputation.
+MIN_SPEEDUP = 5.0
+
+#: Generous absolute ceiling for one warm 127-qubit transpile (seconds).
+MAX_WARM_TRANSPILE_S = 0.050
+
+
+def _best_of(fn, repeats: int = 5, calls: int = 10) -> float:
+    """Best per-call wall time over several measurement rounds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, (time.perf_counter() - start) / calls)
+    return best
+
+
+@pytest.fixture(scope="module")
+def washington_qft():
+    backend = Backend.from_name("ibm_washington")
+    circuit = get_benchmark("QFT-6A").build()
+    transpile(circuit, backend)  # prime every process-level cache
+    return backend, circuit
+
+
+def test_warm_distance_cache_speedup(washington_qft, monkeypatch):
+    backend, circuit = washington_qft
+
+    warm_compiled = transpile(circuit, backend)
+    warm = _best_of(lambda: transpile(circuit, backend))
+
+    # The pre-fix baseline: no memo anywhere, so every consumer call pays a
+    # full all-pairs recomputation (exactly what sabre_route and
+    # DeviceSpec.distance used to do per invocation).
+    monkeypatch.setattr(
+        BackendClass,
+        "distance_matrix",
+        lambda self: topologies.build_distance_array(self.edges, self.num_qubits),
+    )
+    monkeypatch.setattr(
+        BackendClass,
+        "distance_rows",
+        lambda self: self.distance_matrix().tolist(),
+    )
+    uncached_compiled = transpile(circuit, backend)
+    uncached = _best_of(lambda: transpile(circuit, backend))
+
+    speedup = uncached / warm
+    print_section(
+        "Transpile @ ibm_washington (127q, QFT-6A): "
+        f"warm {1000 * warm:.2f} ms, per-call recomputation "
+        f"{1000 * uncached:.2f} ms, speedup {speedup:.1f}x"
+    )
+    assert circuit_fingerprint(uncached_compiled.physical_circuit) == (
+        circuit_fingerprint(warm_compiled.physical_circuit)
+    ), "caching must not change the compiled program"
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm distance cache is only {speedup:.1f}x faster than per-call"
+        f" recomputation (gate: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_warm_127q_transpile_absolute_latency(washington_qft):
+    backend, circuit = washington_qft
+    warm = _best_of(lambda: transpile(circuit, backend))
+    print_section(f"Warm 127q transpile: {1000 * warm:.2f} ms")
+    assert warm <= MAX_WARM_TRANSPILE_S
+
+
+def test_transpile_scales_across_heavy_hex_family(washington_qft):
+    """Whole-family throughput: one QFT-6A transpile per generation."""
+    circuit = get_benchmark("QFT-6A").build()
+    rows = []
+    for name in ("ibmq_toronto", "ibm_brooklyn", "ibm_washington", "heavy_hex:5"):
+        backend = Backend.from_name(name)
+        transpile(circuit, backend)  # warm this backend's caches
+        elapsed = _best_of(lambda: transpile(circuit, backend), repeats=3, calls=5)
+        rows.append((name, backend.num_qubits, elapsed))
+    print_section(
+        "Family transpile times: "
+        + ", ".join(f"{n} ({q}q) {1000 * e:.2f} ms" for n, q, e in rows)
+    )
+    # Scaling sanity: the 209-qubit extrapolation stays within an order of
+    # magnitude of the 27-qubit Falcon — the pipeline no longer degrades
+    # quadratically with device size.
+    falcon = next(e for n, _, e in rows if n == "ibmq_toronto")
+    largest = next(e for n, _, e in rows if n == "heavy_hex:5")
+    assert largest <= 10.0 * falcon

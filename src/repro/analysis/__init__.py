@@ -32,6 +32,12 @@ from .evaluation_runs import (
     run_policy_comparison,
     table5_summary,
 )
+from .scaling import (
+    HEAVY_HEX_FAMILY,
+    HardwareScalingRecord,
+    hardware_scaling_point,
+    hardware_scaling_study,
+)
 from .tables import (
     benchmark_characteristics_table,
     format_table,
@@ -55,7 +61,11 @@ __all__ = [
     "figure3_swap_idle_study",
     "format_table",
     "full_device_characterization",
+    "HEAVY_HEX_FAMILY",
+    "HardwareScalingRecord",
     "hardware_characteristics_table",
+    "hardware_scaling_point",
+    "hardware_scaling_study",
     "idle_characterization_circuit",
     "idle_qubit_fidelity",
     "motivation_example_circuit",

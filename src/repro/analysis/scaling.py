@@ -1,0 +1,196 @@
+"""Hardware-scaling study: the evaluation pipeline across device sizes.
+
+The paper stops at the 27-qubit Falcon generation; this driver runs one
+workload across the whole heavy-hex family (Falcon-27, Hummingbird-65,
+Eagle-127 and parametric extrapolations) and reports Table-3-style device
+characteristics next to the compiled-program and end-to-end evaluation
+metrics at each scale:
+
+* static device axis — qubit/link counts and the calibration averages that
+  Table 3 reports (CNOT error, readout error, T1/T2);
+* transpiler axis — gate count, depth, SWAP count, idle time and latency of
+  the workload compiled onto each device, plus the transpile wall time (the
+  quantity the memoized distance matrix is about);
+* execution axis — the engine the auto policy selects for the routed active
+  space, the active-qubit count, and the noisy fidelity of an end-to-end run.
+
+One record per device; :func:`hardware_scaling_study` sweeps a family and is
+exposed as the ``hardware_scaling`` task kind (``repro run`` / ``repro
+sweep``), storing each point under a calibration-content key.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..core.evaluation import compiled_ideal_distribution
+from ..hardware.backend import Backend
+from ..metrics.fidelity import fidelity, success_probability
+from ..transpiler.transpile import transpile
+from ..workloads.suite import get_benchmark
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import ExperimentStore
+
+__all__ = [
+    "HEAVY_HEX_FAMILY",
+    "HardwareScalingRecord",
+    "hardware_scaling_point",
+    "hardware_scaling_study",
+]
+
+#: The default device axis: the three IBM heavy-hex generations.
+HEAVY_HEX_FAMILY = ("ibmq_toronto", "ibm_brooklyn", "ibm_washington")
+
+
+@dataclass(frozen=True)
+class HardwareScalingRecord:
+    """One device-scale point of the scaling study."""
+
+    device: str
+    num_qubits: int
+    num_links: int
+    avg_cnot_error_pct: float
+    avg_measurement_error_pct: float
+    t1_us: float
+    t2_us: float
+    benchmark: str
+    program_qubits: int
+    gate_count: int
+    circuit_depth: int
+    num_swaps: int
+    avg_idle_time_us: float
+    latency_us: float
+    num_active_qubits: int
+    engine: str
+    fidelity: float
+    success_probability: float
+    transpile_s: float
+    evaluate_s: float
+
+
+def hardware_scaling_point(
+    backend: Backend,
+    benchmark: str = "QFT-6A",
+    shots: int = 2048,
+    trajectories: int = 60,
+    seed: int = 7,
+    engine: str = "auto_dense",
+) -> HardwareScalingRecord:
+    """Transpile + execute one workload on one backend and measure everything.
+
+    The execution is a measurement context (reported fidelity), so the
+    default engine is ``"auto_dense"``; at large active spaces the executor's
+    memory budget steers the auto policy to the trajectory engine.
+    """
+    from ..hardware.execution import NoisyExecutor
+
+    spec = get_benchmark(benchmark)
+    calibration = backend.calibration
+
+    start = time.perf_counter()
+    compiled = transpile(spec.build(), backend)
+    transpile_s = time.perf_counter() - start
+
+    executor = NoisyExecutor(backend, seed=seed, trajectories=trajectories)
+    ideal = compiled_ideal_distribution(compiled)
+    start = time.perf_counter()
+    result = executor.run(
+        compiled.physical_circuit,
+        shots=shots,
+        output_qubits=compiled.output_qubits,
+        gst=compiled.gst,
+        engine=engine,
+        seed=seed,
+    )
+    evaluate_s = time.perf_counter() - start
+
+    return HardwareScalingRecord(
+        device=backend.name,
+        num_qubits=backend.num_qubits,
+        num_links=len(backend.edges),
+        avg_cnot_error_pct=100.0 * calibration.average_cnot_error(),
+        avg_measurement_error_pct=100.0 * calibration.average_measurement_error(),
+        t1_us=calibration.average_t1_us(),
+        t2_us=calibration.average_t2_us(),
+        benchmark=spec.name,
+        program_qubits=spec.num_qubits,
+        gate_count=compiled.gate_count(),
+        circuit_depth=compiled.depth(),
+        num_swaps=compiled.num_swaps,
+        avg_idle_time_us=compiled.average_idle_time_us(),
+        latency_us=compiled.latency_us(),
+        num_active_qubits=result.num_active_qubits,
+        engine=result.engine,
+        fidelity=fidelity(ideal, result.probabilities),
+        success_probability=success_probability(ideal, result.probabilities),
+        transpile_s=transpile_s,
+        evaluate_s=evaluate_s,
+    )
+
+
+def hardware_scaling_study(
+    device_names: Sequence[str] = HEAVY_HEX_FAMILY,
+    benchmark: str = "QFT-6A",
+    cycle: int = 0,
+    shots: int = 2048,
+    trajectories: int = 60,
+    seed: int = 7,
+    engine: str = "auto_dense",
+    store: Optional["ExperimentStore"] = None,
+) -> List[HardwareScalingRecord]:
+    """One scaling record per device, smallest to largest.
+
+    With a ``store``, every device point is read-through cached under its
+    calibration-content key (the device fingerprint is part of it, so a
+    topology change — e.g. a regenerated heavy-hex lattice — invalidates the
+    record automatically).  Wall-clock fields (``transpile_s`` /
+    ``evaluate_s``) are re-measured only when a point is recomputed.
+    """
+    records: List[HardwareScalingRecord] = []
+    for name in device_names:
+        backend = Backend.from_name(str(name), cycle=int(cycle))
+
+        def compute(backend: Backend = backend) -> HardwareScalingRecord:
+            return hardware_scaling_point(
+                backend,
+                benchmark=benchmark,
+                shots=shots,
+                trajectories=trajectories,
+                seed=seed,
+                engine=engine,
+            )
+
+        if store is None:
+            records.append(compute())
+            continue
+        from ..store import calibration_fingerprint, task_key
+        from ..store.records import read_through
+
+        key = task_key(
+            "hardware_scaling_point",
+            {
+                "calibration": calibration_fingerprint(backend.calibration),
+                "benchmark": str(benchmark),
+                "shots": int(shots),
+                "trajectories": int(trajectories),
+                "seed": int(seed),
+                "engine": str(engine),
+            },
+        )
+        records.append(
+            read_through(
+                store,
+                key,
+                compute,
+                encode=lambda record: (
+                    {"kind": "hardware_scaling_point", "row": asdict(record)},
+                    {},
+                ),
+                decode=lambda meta, arrays: HardwareScalingRecord(**meta["row"]),
+            )
+        )
+    records.sort(key=lambda r: (r.num_qubits, r.device))
+    return records

@@ -96,6 +96,21 @@ class QuantumCircuit:
     # Builder API
     # ------------------------------------------------------------------
 
+    @classmethod
+    def _trusted(cls, num_qubits: int, name: str, gates: List[Gate]) -> "QuantumCircuit":
+        """Internal bulk constructor for pre-validated gates.
+
+        Transpiler passes rebuild circuits gate-by-gate from an existing
+        (already validated) circuit; re-checking every qubit index on every
+        append is pure overhead there.  The caller must guarantee that every
+        gate fits the register and transfers ownership of ``gates``.
+        """
+        circuit = cls.__new__(cls)
+        circuit._num_qubits = int(num_qubits)
+        circuit._gates = gates
+        circuit.name = name
+        return circuit
+
     def append(self, gate: Gate) -> "QuantumCircuit":
         """Append a pre-built gate, validating its qubit indices."""
         if max(gate.qubits) >= self._num_qubits:

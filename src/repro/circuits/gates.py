@@ -416,12 +416,27 @@ class Gate:
         return gate_matrix(self.name, self.params)
 
     def with_qubits(self, *qubits: int) -> "Gate":
-        """Return a copy of the gate remapped onto different qubits."""
+        """Return a copy of the gate remapped onto different qubits.
+
+        Fast path: name/params/arity are unchanged from this (already
+        validated) gate, so only the qubit-specific checks are re-run —
+        ``dataclasses.replace`` with its full re-validation made remapping
+        the hottest allocation in SABRE routing.
+        """
         if len(qubits) != len(self.qubits):
             raise GateDefinitionError(
                 f"expected {len(self.qubits)} qubits, got {len(qubits)}"
             )
-        return replace(self, qubits=tuple(qubits))
+        new_qubits = tuple(int(q) for q in qubits)
+        if len(set(new_qubits)) != len(new_qubits) or any(q < 0 for q in new_qubits):
+            return replace(self, qubits=new_qubits)  # full validation -> error
+        remapped = object.__new__(Gate)
+        object.__setattr__(remapped, "name", self.name)
+        object.__setattr__(remapped, "qubits", new_qubits)
+        object.__setattr__(remapped, "params", self.params)
+        object.__setattr__(remapped, "duration", self.duration)
+        object.__setattr__(remapped, "label", self.label)
+        return remapped
 
     def with_duration(self, duration: float) -> "Gate":
         """Return a copy of the gate with an explicit duration."""

@@ -219,9 +219,16 @@ class Adapt:
         self._pool = None
 
     def _batch_options(self) -> Dict[str, object]:
+        from ..hardware.execution import DEFAULT_MEMORY_BUDGET_BYTES
+
         return {
             "dm_qubit_limit": getattr(self.executor, "dm_qubit_limit", 10),
             "trajectories": getattr(self.executor, "trajectories", 120),
+            # The memory budget steers engine selection, so the batched path
+            # (and every fan-out worker) must inherit the parent's value.
+            "memory_budget_bytes": getattr(
+                self.executor, "memory_budget_bytes", DEFAULT_MEMORY_BUDGET_BYTES
+            ),
         }
 
     @property

@@ -195,9 +195,9 @@ def evaluate_policies(
 
         if store_key is None:
             # The final executions run on batch_executor when given, else on
-            # the sequential executor — and their trajectory budget and
-            # dm_qubit_limit determine the result (engine resolution, MC
-            # sampling), so they must be part of the key.
+            # the sequential executor — and their trajectory budget,
+            # dm_qubit_limit and memory budget determine the result (engine
+            # resolution, MC sampling), so they must be part of the key.
             runner = batch_executor if batch_executor is not None else executor
             store_key = evaluation_key(
                 compiled,
@@ -210,6 +210,9 @@ def evaluate_policies(
                 extra={
                     "trajectories": getattr(runner, "trajectories", None),
                     "dm_qubit_limit": getattr(runner, "dm_qubit_limit", None),
+                    "memory_budget_bytes": getattr(
+                        runner, "memory_budget_bytes", None
+                    ),
                 },
             )
         record = store.get(store_key)

@@ -177,6 +177,7 @@ class RuntimeBestPolicy(Policy):
             # on these executor knobs, so they are result-determining.
             "trajectories": getattr(runner, "trajectories", None),
             "dm_qubit_limit": getattr(runner, "dm_qubit_limit", None),
+            "memory_budget_bytes": getattr(runner, "memory_budget_bytes", None),
         }
 
     def _candidate_assignments(self, qubits: Sequence[int]) -> List[DDAssignment]:

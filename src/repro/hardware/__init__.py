@@ -1,6 +1,13 @@
 """Hardware models: topologies, device specs, calibrations, backends, execution."""
 
-from .devices import DEVICES, DeviceSpec, get_device, list_devices, synthetic_device
+from .devices import (
+    DEVICES,
+    DeviceSpec,
+    get_device,
+    heavy_hex_device,
+    list_devices,
+    synthetic_device,
+)
 from .calibration import (
     Calibration,
     CrosstalkEntry,
@@ -17,6 +24,7 @@ from .program import (
     process_cache_stats,
 )
 from .execution import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
     BatchJob,
     ExecutionResult,
     NoisyExecutor,
@@ -35,6 +43,7 @@ __all__ = [
     "Calibration",
     "CompiledNoisyProgram",
     "CrosstalkEntry",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
     "DEVICES",
     "DeviceSpec",
     "ExecutionResult",
@@ -49,6 +58,7 @@ __all__ = [
     "execute_program_jobs",
     "generate_calibration",
     "get_device",
+    "heavy_hex_device",
     "job_sample_rng",
     "job_streams",
     "list_devices",

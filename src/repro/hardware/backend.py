@@ -17,6 +17,7 @@ from ..circuits.gates import Gate
 from ..core.gst import GateSequenceTable
 from ..noise.idling import IdleNoiseModel
 from ..noise.model import GateNoiseModel
+from . import topologies
 from .calibration import Calibration, generate_calibration
 from .devices import DeviceSpec, get_device
 
@@ -28,6 +29,9 @@ class Backend:
 
     def __init__(self, device: DeviceSpec, calibration: Optional[Calibration] = None) -> None:
         self._device = device
+        self._distances = None
+        self._distance_rows = None
+        self._adjacency = None
         self._calibration = calibration or generate_calibration(device, cycle=0)
         if self._calibration.device.name != device.name:
             raise ValueError("calibration was generated for a different device")
@@ -82,6 +86,51 @@ class Backend:
 
     def coupling_graph(self):
         return self._device.coupling_graph()
+
+    def distance_matrix(self):
+        """The device's all-pairs distance array (read-only, built once).
+
+        Served from the process-wide memo of
+        :func:`repro.hardware.topologies.distance_array` — every backend over
+        the same topology (all calibration cycles included) shares one array
+        and one graph traversal.  SABRE routing, the noise-adaptive layout
+        and :meth:`DeviceSpec.distance` all read through this cache;
+        unreachable pairs hold :data:`repro.hardware.topologies.UNREACHABLE`.
+        """
+        if self._distances is None:
+            self._distances = topologies.distance_array(
+                self._device.edges, self._device.num_qubits
+            )
+        return self._distances
+
+    def distance_rows(self):
+        """:meth:`distance_matrix` as nested Python lists.
+
+        Plain-list indexing is several times faster than NumPy scalar
+        indexing in the SABRE inner loop, which reads one distance per
+        heuristic gate per SWAP candidate; built once per backend.
+        """
+        if self._distance_rows is None:
+            self._distance_rows = self.distance_matrix().tolist()
+        return self._distance_rows
+
+    def adjacency_sets(self) -> Tuple[frozenset, ...]:
+        """Physical neighbours of every qubit, as one frozenset per qubit.
+
+        The O(1) adjacency test the transpiler uses instead of building a
+        networkx graph per pass; built once per backend.
+        """
+        if self._adjacency is None:
+            neighbors = [set() for _ in range(self._device.num_qubits)]
+            for a, b in self._device.edges:
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+            self._adjacency = tuple(frozenset(s) for s in neighbors)
+        return self._adjacency
+
+    def distance(self, a: int, b: int) -> int:
+        """Coupling-graph distance between two physical qubits."""
+        return self._device.distance(a, b)
 
     # ------------------------------------------------------------------
     # Timing model

@@ -40,6 +40,7 @@ from ..core.gst import GateSequenceTable
 from ..dd.insertion import DDAssignment
 from .backend import Backend
 from .execution import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
     BatchJob,
     ExecutionResult,
     ProgramCompilerMixin,
@@ -77,7 +78,10 @@ class BatchExecutor(ProgramCompilerMixin):
             engine (same meaning as in ``NoisyExecutor``).
         base_seed: fallback entropy for jobs submitted without a seed.
         memory_budget_bytes: cap on the stacked batch state; larger batches
-            are transparently split into sub-batches.
+            are transparently split into sub-batches, and the budget also
+            steers auto engine selection (an active space whose preferred
+            engine cannot fit degrades to a cheaper one — see
+            :func:`repro.simulators.engines.select_engine`).
     """
 
     def __init__(
@@ -86,12 +90,14 @@ class BatchExecutor(ProgramCompilerMixin):
         dm_qubit_limit: int = 10,
         trajectories: int = 120,
         base_seed: Optional[int] = None,
-        memory_budget_bytes: int = 256 * 1024 * 1024,
+        memory_budget_bytes: Optional[int] = DEFAULT_MEMORY_BUDGET_BYTES,
         max_cached_programs: int = 16,
     ) -> None:
         self.dm_qubit_limit = int(dm_qubit_limit)
         self.trajectories = int(trajectories)
-        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.memory_budget_bytes = (
+            None if memory_budget_bytes is None else int(memory_budget_bytes)
+        )
         self.max_cached_programs = max(1, int(max_cached_programs))
         self._fallback_rng = np.random.default_rng(base_seed)
         self._init_program_cache(backend, self.max_cached_programs)

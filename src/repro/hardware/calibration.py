@@ -22,6 +22,7 @@ averages of :class:`~repro.hardware.devices.DeviceSpec`:
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -217,12 +218,12 @@ def generate_calibration(
         links[edge] = LinkCalibration(cnot_error=error, duration_ns=duration)
 
     crosstalk: Dict[Tuple[int, Edge], CrosstalkEntry] = {}
+    # One memo lookup for the whole loop: the per-combination sweep touches
+    # thousands of pairs on the larger heavy-hex devices.
+    distances = _distance_lookup(device)
     for qubit, link in device.qubit_link_combinations():
         link = _canonical_link(link)
-        dist = min(
-            _graph_distance(device, qubit, link[0]),
-            _graph_distance(device, qubit, link[1]),
-        )
+        dist = min(distances(qubit, link[0]), distances(qubit, link[1]))
         if dist <= 1:
             multiplier = _lognormal(rng, 8.0, 0.55)
             zz_scale = 6.0
@@ -250,15 +251,19 @@ def generate_calibration(
     )
 
 
-_DISTANCE_CACHE: Dict[Tuple, Dict[Tuple[int, int], int]] = {}
+def _distance_lookup(device: DeviceSpec):
+    """O(1) pair-distance function over the shared topology memo.
 
-
-def _graph_distance(device: DeviceSpec, a: int, b: int) -> int:
+    The memoized array is fetched once (its content key costs O(edges) to
+    build) and closed over; disconnected pairs read as ``num_qubits`` (far).
+    """
     from . import topologies
 
-    key = (device.name, device.num_qubits, device.edges)
-    cache = _DISTANCE_CACHE.get(key)
-    if cache is None:
-        cache = topologies.distance_matrix(device.edges, device.num_qubits)
-        _DISTANCE_CACHE[key] = cache
-    return cache.get((a, b), device.num_qubits)
+    array = topologies.distance_array(device.edges, device.num_qubits)
+    far = device.num_qubits
+
+    def lookup(a: int, b: int) -> int:
+        value = array[a, b]
+        return int(value) if math.isfinite(value) else far
+
+    return lookup

@@ -6,16 +6,32 @@ Toronto) or values representative of the smaller characterisation machines
 (Rome, London, Casablanca).  Calibration snapshots
 (:mod:`repro.hardware.calibration`) scatter per-qubit / per-link values
 around these averages.
+
+The registry also carries the larger heavy-hex generations the paper never
+ran on: synthetic ``ibm_brooklyn`` (65-qubit Hummingbird) and
+``ibm_washington`` (127-qubit Eagle) specs whose error profiles are derived
+from the Falcon machines, plus :func:`heavy_hex_device` /
+``get_device("heavy_hex:<d>")`` for arbitrary family parameters — the device
+axis of the hardware-scaling study.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from . import topologies
 
-__all__ = ["DeviceSpec", "DEVICES", "get_device", "list_devices", "synthetic_device"]
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "get_device",
+    "heavy_hex_device",
+    "list_devices",
+    "synthetic_device",
+]
 
 Edge = Tuple[int, int]
 
@@ -63,9 +79,15 @@ class DeviceSpec:
             raise ValueError("device must have at least one qubit")
         for a, b in self.edges:
             if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
-                raise ValueError(f"edge ({a},{b}) is outside the qubit register")
+                raise ValueError(
+                    f"device '{self.name}': edge ({a},{b}) is outside the"
+                    f" {self.num_qubits}-qubit register (valid endpoints:"
+                    f" 0..{self.num_qubits - 1})"
+                )
             if a == b:
-                raise ValueError("self-loop edges are not allowed")
+                raise ValueError(
+                    f"device '{self.name}': self-loop edge ({a},{b}) is not allowed"
+                )
 
     @property
     def edge_set(self) -> frozenset:
@@ -81,8 +103,19 @@ class DeviceSpec:
         return topologies.coupling_graph(self.edges, self.num_qubits)
 
     def distance(self, a: int, b: int) -> int:
-        key = (a, b)
-        return topologies.distance_matrix(self.edges, self.num_qubits)[key]
+        """Coupling-graph distance, served from the process-wide memo.
+
+        Earlier revisions rebuilt the full all-pairs matrix on *every* call
+        and raised a bare ``KeyError`` for disconnected pairs; now the memoized
+        array is indexed directly and unreachable pairs fail descriptively.
+        """
+        value = topologies.distance_array(self.edges, self.num_qubits)[a, b]
+        if not math.isfinite(value):
+            raise ValueError(
+                f"qubits {a} and {b} are not connected on device"
+                f" '{self.name}' (disconnected coupling map)"
+            )
+        return int(value)
 
     def qubit_link_combinations(self) -> List[Tuple[int, Edge]]:
         return topologies.qubit_link_combinations(self.edges, self.num_qubits)
@@ -164,17 +197,104 @@ DEVICES: Dict[str, DeviceSpec] = {
         cnot_duration_spread=1.7,
         idle_dephasing_rate=8.0e-5,
     ),
+    # ---- larger heavy-hex generations (synthetic, not in the paper) -------
+    # Error profiles are derived from the Falcon machines of Table 3: the
+    # Hummingbird keeps Toronto-class gates with slightly longer-lived qubits,
+    # the Eagle improves coherence further (as the real devices did) while its
+    # early-revision CNOTs stay Toronto-class.
+    "ibm_brooklyn": _falcon(
+        "ibm_brooklyn",
+        cnot_error=0.0155,
+        measurement_error=0.0320,
+        sq_error=0.0004,
+        t1_us=110.0,
+        t2_us=120.0,
+        cnot_duration_ns=460.0,
+        cnot_duration_spread=1.9,
+        idle_dephasing_rate=6.5e-5,
+    ),
+    "ibm_washington": _falcon(
+        "ibm_washington",
+        cnot_error=0.0150,
+        measurement_error=0.0260,
+        sq_error=0.0004,
+        t1_us=120.0,
+        t2_us=125.0,
+        cnot_duration_ns=480.0,
+        cnot_duration_spread=1.9,
+        idle_dephasing_rate=6.0e-5,
+    ),
 }
 
 
+_HEAVY_HEX_PREFIX = "heavy_hex:"
+_HEAVY_HEX_MEMO: Dict[Tuple[int, str], DeviceSpec] = {}
+
+
+def heavy_hex_device(distance: int, template: str = "ibmq_toronto") -> DeviceSpec:
+    """A heavy-hex family member with a Falcon-derived error profile.
+
+    ``distance`` follows :func:`repro.hardware.topologies.heavy_hex`; the
+    error characteristics are copied from ``template`` (Toronto by default),
+    so the family isolates the *topology/scale* axis of the scaling study.
+    The spec is named ``heavy_hex:<distance>`` and is resolvable back through
+    :func:`get_device`, which makes the whole family usable as a sweep device
+    axis.
+    """
+    distance = int(distance)
+    template = str(template)
+    key = (distance, template)
+    spec = _HEAVY_HEX_MEMO.get(key)
+    if spec is None:
+        num_qubits = topologies.heavy_hex_num_qubits(distance)
+        # Non-default templates are encoded in the name so every spec
+        # round-trips through get_device and distinct profiles never share
+        # a device name.
+        name = f"{_HEAVY_HEX_PREFIX}{distance}"
+        if template != "ibmq_toronto":
+            name = f"{name}@{template}"
+        spec = synthetic_device(
+            num_qubits,
+            edges=topologies.heavy_hex(distance),
+            name=name,
+            template=template,
+        )
+        _HEAVY_HEX_MEMO[key] = spec
+    return spec
+
+
 def get_device(name: str) -> DeviceSpec:
-    """Look up a device by name."""
-    try:
+    """Look up a device by name.
+
+    Beyond the registry, names of the form ``heavy_hex:<distance>`` resolve
+    to parametric :func:`heavy_hex_device` members (``heavy_hex:5`` is the
+    209-qubit extrapolation), so sweep specs can put the whole family on
+    their device axis without pre-registering every size.
+    """
+    if name in DEVICES:
         return DEVICES[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown device '{name}'; known devices: {sorted(DEVICES)}"
-        ) from exc
+    if name.startswith(_HEAVY_HEX_PREFIX):
+        suffix = name[len(_HEAVY_HEX_PREFIX):]
+        template = "ibmq_toronto"
+        if "@" in suffix:
+            suffix, template = suffix.split("@", 1)
+        try:
+            distance = int(suffix)
+        except ValueError:
+            raise KeyError(
+                f"malformed heavy-hex device '{name}'"
+                f" (expected '{_HEAVY_HEX_PREFIX}<integer >= 2>[@template]')"
+            ) from None
+        if distance < 2:
+            raise KeyError(
+                f"heavy-hex device '{name}' is too small (family starts at"
+                f" '{_HEAVY_HEX_PREFIX}2', the 27-qubit Falcon)"
+            )
+        return heavy_hex_device(distance, template=template)
+    raise KeyError(
+        f"unknown device '{name}'; known devices: {sorted(DEVICES)}"
+        f" plus parametric '{_HEAVY_HEX_PREFIX}<d>'"
+    )
 
 
 def list_devices() -> List[str]:

@@ -58,6 +58,7 @@ from .program import (
 
 __all__ = [
     "BatchJob",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
     "ExecutionResult",
     "NoisyExecutor",
     "execute_program_jobs",
@@ -69,6 +70,12 @@ __all__ = [
     "GATE_EVENT_PRIORITY",
     "GATE_NOISE_PRIORITY",
 ]
+
+#: The shared default active-space memory budget (256 MiB).  Both executor
+#: front-ends use the same value because engine selection folds the budget
+#: in (:func:`repro.simulators.engines.select_engine`) and the
+#: sequential-vs-batch equivalence contract requires identical defaults.
+DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
 
 
 def job_streams(
@@ -257,7 +264,14 @@ def execute_program_jobs(
     n = len(program.active)
     groups: Dict[str, List[int]] = {}
     for j, job in enumerate(jobs):
-        name = select_engine(job.engine, n, dm_qubit_limit, clifford=program.is_clifford)
+        name = select_engine(
+            job.engine,
+            n,
+            dm_qubit_limit,
+            clifford=program.is_clifford,
+            memory_budget_bytes=memory_budget_bytes,
+            trajectories=trajectories,
+        )
         groups.setdefault(name, []).append(j)
 
     results: List[Optional[ExecutionResult]] = [None] * len(jobs)
@@ -391,9 +405,13 @@ class NoisyExecutor(ProgramCompilerMixin):
         dm_qubit_limit: int = 10,
         trajectories: int = 120,
         max_cached_programs: int = 16,
+        memory_budget_bytes: Optional[int] = DEFAULT_MEMORY_BUDGET_BYTES,
     ) -> None:
         self.dm_qubit_limit = int(dm_qubit_limit)
         self.trajectories = int(trajectories)
+        self.memory_budget_bytes = (
+            None if memory_budget_bytes is None else int(memory_budget_bytes)
+        )
         self._rng = np.random.default_rng(seed)
         self._init_program_cache(backend, max_cached_programs)
 
@@ -470,5 +488,6 @@ class NoisyExecutor(ProgramCompilerMixin):
             trajectories=self.trajectories,
             dm_qubit_limit=self.dm_qubit_limit,
             job_seed=lambda j: j.seed,
+            memory_budget_bytes=self.memory_budget_bytes,
             stats=self.stats,
         )[0]

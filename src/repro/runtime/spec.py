@@ -156,11 +156,12 @@ def load_spec(path: str) -> List[SweepSpec]:
 def smoke_spec(scale: float = 1.0, seed: int = 7) -> List[SweepSpec]:
     """The built-in CLI smoke sweep: tiny but exercises every layer.
 
-    One motivation figure, one calibration-drift probe and one full policy
-    comparison (ADAPT + Runtime-Best included) — enough to touch the
-    transpiler, the batch executor, the stabilizer fast path and the store,
-    in a few seconds.  ``scale`` multiplies the shot budgets (the CI job uses
-    the default).
+    One motivation figure, one calibration-drift probe, one full policy
+    comparison (ADAPT + Runtime-Best included) and one heavy-hex scaling
+    point on the 127-qubit Eagle lattice — enough to touch the transpiler
+    (cached distance matrices at scale included), the batch executor, the
+    stabilizer fast path and the store, in a few seconds.  ``scale``
+    multiplies the shot budgets (the CI job uses the default).
     """
     shots = max(64, int(512 * scale))
     return [
@@ -185,6 +186,15 @@ def smoke_spec(scale: float = 1.0, seed: int = 7) -> List[SweepSpec]:
                 "thetas": [1.5707963267948966],
                 "shots": shots,
             },
+        ),
+        SweepSpec(
+            name="smoke/scaling",
+            kind="hardware_scaling",
+            devices=("ibm_washington",),
+            cycles=(0,),
+            workloads=("QFT-6A",),
+            seeds=(seed,),
+            params={"shots": shots, "trajectories": 40},
         ),
         SweepSpec(
             name="smoke/evaluation",

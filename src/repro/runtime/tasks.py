@@ -450,6 +450,44 @@ _register(
 )
 
 
+def _execute_hardware_scaling(params, store):
+    from dataclasses import asdict
+
+    from ..analysis.scaling import hardware_scaling_study
+    from ..store.records import encode_rows
+
+    # Route through the study driver so the fine-grained per-device record
+    # (one read-through key per point) is shared between CLI sweeps and
+    # direct hardware_scaling_study(store=...) API calls.
+    (record,) = hardware_scaling_study(
+        device_names=(str(params["device"]),),
+        benchmark=str(params["benchmark"]),
+        cycle=int(params.get("cycle", 0)),
+        shots=int(params["shots"]),
+        trajectories=int(params["trajectories"]),
+        seed=int(params["seed"]),
+        engine=str(params["engine"]),
+        store=store,
+    )
+    return encode_rows("hardware_scaling", [asdict(record)])
+
+
+_register(
+    TaskKind(
+        name="hardware_scaling",
+        axes=("device", "cycle", "workload", "seed"),
+        defaults={
+            "cycle": 0,
+            "shots": 2048,
+            "trajectories": 60,
+            "engine": "auto_dense",
+        },
+        execute=_execute_hardware_scaling,
+        key_extras=_cal_extras,
+    )
+)
+
+
 def _execute_decoy_correlation(params, store):
     from ..analysis.decoy_quality import decoy_correlation_study
     from ..store.records import encode_decoy_correlation
@@ -504,6 +542,16 @@ def _headline(meta: dict):
         values = meta.get("values", {})
         best = max(values, key=values.get) if values else None
         return {"best_option": best}
+    if kind == "hardware_scaling":
+        rows = meta.get("rows", [])
+        if rows:
+            row = rows[0]
+            return {
+                "device": row.get("device"),
+                "num_qubits": row.get("num_qubits"),
+                "fidelity": row.get("fidelity"),
+            }
+        return {"rows": 0}
     if "rows" in meta:
         return {"rows": len(meta["rows"])}
     if "cycles" in meta:

@@ -185,6 +185,8 @@ def select_engine(
     dm_qubit_limit: int = 10,
     clifford: bool = False,
     stabilizer_qubit_limit: int = STABILIZER_AUTO_QUBIT_LIMIT,
+    memory_budget_bytes: Optional[int] = None,
+    trajectories: int = 1,
 ) -> str:
     """The one engine-selection policy shared by every execution path.
 
@@ -196,18 +198,39 @@ def select_engine(
     reported fidelities) where the Pauli-twirl approximation is not wanted,
     as opposed to *scoring/ranking* contexts (decoy scoring, DD sweeps) where
     it is.  Explicit engine names are validated against the registry.
+
+    ``memory_budget_bytes`` threads the executor's active-space memory budget
+    into the choice: among the preference order above, the first engine whose
+    *single-job* working state (``ExecutionEngine.state_bytes`` at
+    ``num_active`` / ``trajectories``) fits the budget wins.  This is what
+    keeps the auto policy viable at the 127-qubit device scale — a routed
+    program whose active space outgrows the dense engines degrades to
+    trajectories, and a Clifford program whose trajectory stack would blow
+    the budget rides the 2^n stabilizer spectrum beyond the nominal auto
+    limit.  If nothing fits, the nominally preferred engine is returned
+    unchanged (executors clamp oversized sub-batches to one job), so a budget
+    never changes which programs are *runnable*, only which engine runs them.
     """
     if engine not in ("auto", "auto_dense"):
         get_engine(engine)  # raises with the registered names listed
         return engine
-    if (
-        engine == "auto"
-        and clifford
-        and "stabilizer" in _ENGINES
-        and num_active <= stabilizer_qubit_limit
-    ):
-        return "stabilizer"
-    return "density_matrix" if num_active <= dm_qubit_limit else "trajectories"
+    stabilizer_ok = engine == "auto" and clifford and "stabilizer" in _ENGINES
+    candidates = []
+    if stabilizer_ok and num_active <= stabilizer_qubit_limit:
+        candidates.append("stabilizer")
+    if num_active <= dm_qubit_limit:
+        candidates.append("density_matrix")
+    candidates.append("trajectories")
+    if stabilizer_ok and "stabilizer" not in candidates:
+        # Last resort beyond the nominal auto limit: the stabilizer state
+        # grows 2^n, not 16^n, so it may be the only engine inside budget.
+        candidates.append("stabilizer")
+    if memory_budget_bytes is not None:
+        for name in candidates:
+            state = get_engine(name).state_bytes(num_active, max(1, int(trajectories)))
+            if state <= memory_budget_bytes:
+                return name
+    return candidates[0]
 
 
 def _window_groups(jobs: Sequence[EngineJob], widx: int) -> Dict[object, List[int]]:

@@ -49,7 +49,13 @@ __all__ = [
 
 #: Version of the store's key + payload schema.  Part of every key; bumping it
 #: orphans all existing records (reclaimed by ``repro gc``).
-SCHEMA_VERSION = 1
+#:
+#: 2: the heavy-hex scaling PR changed result-determining transpiler
+#:    behaviour (layout scores placements with full-coupling-graph distances
+#:    instead of region-subgraph path lengths) and threads a default memory
+#:    budget into auto engine selection — task-level keys hash inputs, not
+#:    compiled circuits, so pre-change records must stop matching.
+SCHEMA_VERSION = 2
 
 
 def _canonical(value):

@@ -64,6 +64,14 @@ def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
     return theta, phi, lam
 
 
+#: Memoized ZSXZSXZ templates keyed by (name, params, label), expressed on
+#: qubit 0 and remapped per use — the Euler-angle extraction (determinant,
+#: phases) is by far the most expensive part of lowering and is identical for
+#: every occurrence of the same gate.
+_TEMPLATE_CACHE: dict = {}
+_TEMPLATE_CACHE_LIMIT = 4096
+
+
 def single_qubit_basis_gates(gate: Gate) -> List[Gate]:
     """Rewrite a single-qubit gate as RZ/SX/RZ/SX/RZ on the same qubit."""
     qubit = gate.qubits[0]
@@ -76,18 +84,25 @@ def single_qubit_basis_gates(gate: Gate) -> List[Gate]:
         return [Gate("rz", (qubit,), (_DIAGONAL_ANGLES[name],), label=gate.label)]
     if name in ("u1", "p"):
         return [Gate("rz", (qubit,), (gate.params[0],), label=gate.label)]
-    theta, phi, lam = zyz_angles(gate.matrix())
     label = gate.label
-    # U = RZ(phi) RY(theta) RZ(lam) and RY(theta) = RZ(pi) SX RZ(theta+pi) SX
-    # up to global phase, giving the standard ZSXZSXZ template.
-    gates = [
-        Gate("rz", (qubit,), (lam,), label=label),
-        Gate("sx", (qubit,), label=label),
-        Gate("rz", (qubit,), (theta + math.pi,), label=label),
-        Gate("sx", (qubit,), label=label),
-        Gate("rz", (qubit,), (phi + math.pi,), label=label),
-    ]
-    return [g for g in gates if not _is_trivial_rz(g)]
+    key = (name, gate.params, label)
+    template = _TEMPLATE_CACHE.get(key)
+    if template is None:
+        theta, phi, lam = zyz_angles(gate.matrix())
+        # U = RZ(phi) RY(theta) RZ(lam) and RY(theta) = RZ(pi) SX RZ(theta+pi) SX
+        # up to global phase, giving the standard ZSXZSXZ template.
+        gates = [
+            Gate("rz", (0,), (lam,), label=label),
+            Gate("sx", (0,), label=label),
+            Gate("rz", (0,), (theta + math.pi,), label=label),
+            Gate("sx", (0,), label=label),
+            Gate("rz", (0,), (phi + math.pi,), label=label),
+        ]
+        template = tuple(g for g in gates if not _is_trivial_rz(g))
+        if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_LIMIT:
+            _TEMPLATE_CACHE.clear()
+        _TEMPLATE_CACHE[key] = template
+    return [g.with_qubits(qubit) for g in template]
 
 
 def _is_trivial_rz(gate: Gate) -> bool:
@@ -102,7 +117,12 @@ def _is_trivial_rz(gate: Gate) -> bool:
 def _decompose_gate(gate: Gate) -> Iterable[Gate]:
     name = gate.name
     if name in ("cx", "cnot"):
-        yield Gate("cx", gate.qubits, label=gate.label)
+        # Re-emitting an identical Gate per pass made re-lowering routed
+        # circuits needlessly allocation-heavy; a plain cx passes through.
+        if name == "cx" and not gate.params and gate.duration is None:
+            yield gate
+        else:
+            yield Gate("cx", gate.qubits, label=gate.label)
         return
     if name == "cz":
         control, target = gate.qubits

@@ -16,6 +16,8 @@ deterministic greedy algorithm:
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -91,7 +93,11 @@ def _readout_error(backend: Backend, qubit: int) -> float:
 
 
 def _select_region(backend: Backend, size: int) -> List[int]:
-    """Grow a connected low-error region of ``size`` physical qubits."""
+    """Grow a connected low-error region of ``size`` physical qubits.
+
+    Adjacency queries ride the backend's cached neighbour sets — no
+    networkx graph is built on this path.
+    """
     edges = list(backend.edges)
     if size == 1:
         best = min(range(backend.num_qubits), key=lambda q: _readout_error(backend, q))
@@ -100,20 +106,21 @@ def _select_region(backend: Backend, size: int) -> List[int]:
         return list(range(size))
     seed_edge = min(edges, key=lambda e: _edge_error(backend, *e))
     region = [seed_edge[0], seed_edge[1]]
-    graph = backend.coupling_graph()
+    adjacency = backend.adjacency_sets()
     while len(region) < size:
+        region_set = set(region)
         frontier = set()
         for q in region:
-            frontier.update(set(graph.neighbors(q)) - set(region))
+            frontier.update(adjacency[q] - region_set)
         if not frontier:
             # Disconnected device or exhausted component: add the best leftover.
-            leftovers = [q for q in range(backend.num_qubits) if q not in region]
+            leftovers = [q for q in range(backend.num_qubits) if q not in region_set]
             frontier = set(leftovers[: max(1, len(leftovers))])
         def cost(candidate: int) -> float:
             link_errors = [
                 _edge_error(backend, candidate, q)
                 for q in region
-                if graph.has_edge(candidate, q)
+                if q in adjacency[candidate]
             ]
             link_cost = min(link_errors) if link_errors else 0.5
             return link_cost + 0.1 * _readout_error(backend, candidate)
@@ -122,9 +129,19 @@ def _select_region(backend: Backend, size: int) -> List[int]:
 
 
 def _place_program(circuit: QuantumCircuit, backend: Backend, region: List[int]) -> Layout:
-    """Assign logical qubits to the selected physical region."""
+    """Assign logical qubits to the selected physical region.
+
+    Partner distances are O(1) lookups into the backend's memoized all-pairs
+    array (shared with SABRE routing) instead of a fresh BFS per candidate
+    pair — the per-pair ``nx.shortest_path_length`` calls inside this loop
+    were quadratic-repeated work that dominated layout on 100+ qubit devices.
+    Distances are measured on the full coupling graph (routing may leave the
+    region), with unreachable pairs penalized at a large finite cost.
+    """
     program_graph = interaction_graph(circuit)
-    device_graph = backend.coupling_graph().subgraph(region)
+    adjacency = backend.adjacency_sets()
+    distances = backend.distance_matrix()
+    far = float(backend.num_qubits)
     order = sorted(
         range(circuit.num_qubits),
         key=lambda q: -sum(d["weight"] for _, _, d in program_graph.edges(q, data=True)),
@@ -139,21 +156,18 @@ def _place_program(circuit: QuantumCircuit, backend: Backend, region: List[int])
         if not candidates:
             raise ValueError("region smaller than the program")
         def score(physical: int) -> Tuple[int, float]:
-            adjacency = sum(
-                1 for partner in placed_partners if device_graph.has_edge(physical, partner)
-            )
+            # Placed partners always lie inside the region, so the full-graph
+            # adjacency test equals the old region-subgraph edge test.
+            neighbors = adjacency[physical]
+            adjacent = sum(1 for partner in placed_partners if partner in neighbors)
             avg_dist = 0.0
             if placed_partners:
-                lengths = []
-                for partner in placed_partners:
-                    try:
-                        lengths.append(
-                            nx.shortest_path_length(device_graph, physical, partner)
-                        )
-                    except nx.NetworkXNoPath:
-                        lengths.append(len(region))
+                lengths = [
+                    float(d) if math.isfinite(d) else far
+                    for d in (distances[physical, p] for p in placed_partners)
+                ]
                 avg_dist = sum(lengths) / len(lengths)
-            return (-adjacency, avg_dist + 0.05 * _readout_error(backend, physical))
+            return (-adjacent, avg_dist + 0.05 * _readout_error(backend, physical))
         best = min(candidates, key=score)
         assignment[logical] = best
         used.add(best)

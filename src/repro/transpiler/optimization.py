@@ -36,7 +36,7 @@ def _is_zero_rotation(gate: Gate) -> bool:
 
 def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
     """Merge runs of same-axis rotations on the same qubit."""
-    merged = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    merged: List[Gate] = []
     pending: dict = {}
 
     def flush(qubit: Optional[int] = None) -> None:
@@ -45,26 +45,37 @@ def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
             entry = pending.pop(key, None)
             if entry is None:
                 continue
-            name, angle, label = entry
-            gate = Gate(name, (key,), (angle % _TWO_PI,), label=label)
+            name, angle, label, original = entry
+            canonical = angle % _TWO_PI
+            # An unmerged rotation whose angle is already canonical can be
+            # re-emitted as the original object (identical fields, no
+            # allocation) — the common case on already-optimized circuits.
+            if (
+                original is not None
+                and original.duration is None
+                and canonical == original.params[0]
+            ):
+                gate = original
+            else:
+                gate = Gate(name, (key,), (canonical,), label=label)
             if not _is_zero_rotation(gate):
                 merged.append(gate)
 
     for gate in circuit:
-        if gate.name in ("rz", "rx", "ry") and gate.num_qubits == 1:
+        if gate.name in ("rz", "rx", "ry") and len(gate.qubits) == 1:
             qubit = gate.qubits[0]
             entry = pending.get(qubit)
             if entry is not None and entry[0] == gate.name:
-                pending[qubit] = (gate.name, entry[1] + gate.params[0], entry[2])
+                pending[qubit] = (gate.name, entry[1] + gate.params[0], entry[2], None)
             else:
                 flush(qubit)
-                pending[qubit] = (gate.name, gate.params[0], gate.label)
+                pending[qubit] = (gate.name, gate.params[0], gate.label, gate)
             continue
         for q in gate.qubits:
             flush(q)
         merged.append(gate)
     flush()
-    return merged
+    return QuantumCircuit._trusted(circuit.num_qubits, circuit.name, merged)
 
 
 def cancel_redundant_gates(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -95,11 +106,11 @@ def cancel_redundant_gates(circuit: QuantumCircuit) -> QuantumCircuit:
         result.append(gate)
         for q in gate.qubits:
             last_on_qubit[q] = len(result) - 1
-    cleaned = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    for gate in result:
-        if gate is not None:
-            cleaned.append(gate)
-    return cleaned
+    return QuantumCircuit._trusted(
+        circuit.num_qubits,
+        circuit.name,
+        [gate for gate in result if gate is not None],
+    )
 
 
 def optimize_circuit(circuit: QuantumCircuit, max_passes: int = 8) -> QuantumCircuit:

@@ -12,10 +12,10 @@ look-ahead term over the following gates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
 
-import networkx as nx
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
@@ -67,16 +67,6 @@ class _Mapping:
         return Layout(tuple(self.l2p[l] for l in range(num_logical)))
 
 
-def _distance_matrix(backend: Backend) -> Dict[Tuple[int, int], int]:
-    graph = backend.coupling_graph()
-    lengths = dict(nx.all_pairs_shortest_path_length(graph))
-    return {
-        (a, b): lengths[a][b]
-        for a in lengths
-        for b in lengths[a]
-    }
-
-
 def sabre_route(
     circuit: QuantumCircuit,
     backend: Backend,
@@ -98,9 +88,16 @@ def sabre_route(
             layer.
         max_iterations: safety bound on SWAP insertions (defaults to a
             generous multiple of the gate count).
+
+    The all-pairs distance matrix is served from the backend's memoized
+    array (one graph traversal per topology per process) instead of being
+    recomputed on every invocation — at 127 qubits the per-call rebuild used
+    to dominate routing time.  Adjacency tests ride the backend's cached
+    neighbour sets; no networkx graph is built on this path at all.
     """
-    distances = _distance_matrix(backend)
-    graph = backend.coupling_graph()
+    distances = backend.distance_matrix()
+    dist_rows = backend.distance_rows()
+    adjacency = backend.adjacency_sets()
     mapping = _Mapping(layout, backend.num_qubits)
     routed = QuantumCircuit(backend.num_qubits, name=circuit.name)
 
@@ -130,16 +127,20 @@ def sabre_route(
     limit = max_iterations or (10 * len(gates) + 1000)
     iterations = 0
 
+    l2p = mapping.l2p
+    # Per-gate classification, resolved once instead of per scheduling round.
+    two_qubit = [g.is_two_qubit for g in gates]
+    gate_qubits = [g.qubits for g in gates]
+
     def is_executable(index: int) -> bool:
-        gate = gates[index]
-        if not gate.is_two_qubit:
+        if not two_qubit[index]:
             return True
-        a, b = (mapping.physical(q) for q in gate.qubits)
-        return graph.has_edge(a, b)
+        qa, qb = gate_qubits[index]
+        return l2p[qb] in adjacency[l2p[qa]]
 
     def emit(index: int) -> None:
         gate = gates[index]
-        physical = tuple(mapping.physical(q) for q in gate.qubits)
+        physical = tuple(l2p[q] for q in gate.qubits)
         routed.append(gate.with_qubits(*physical))
         executed[index] = True
         for succ in successors[index]:
@@ -161,10 +162,19 @@ def sabre_route(
             continue
 
         # Every ready gate is a blocked two-qubit gate: pick a SWAP.
-        front = [gates[i] for i in ready if gates[i].is_two_qubit]
-        extended = _extended_set(gates, ready, successors, remaining_preds, lookahead)
+        front = [gates[i] for i in ready if two_qubit[i]]
+        for gate in front:
+            a, b = (l2p[q] for q in gate.qubits)
+            if not math.isfinite(distances[a, b]):
+                raise RuntimeError(
+                    f"cannot route gate '{gate.name}' on logical qubits"
+                    f" {tuple(gate.qubits)}: physical qubits {a} and {b} lie in"
+                    f" different components of the {backend.name} coupling"
+                    " graph (disconnected coupling map)"
+                )
+        extended = _extended_set(gates, two_qubit, ready, successors, lookahead)
         best_swap = _choose_swap(
-            front, extended, mapping, graph, distances, lookahead_weight
+            front, extended, mapping, adjacency, dist_rows, lookahead_weight
         )
         a, b = best_swap
         routed.append(Gate("swap", (a, b), label="routing"))
@@ -197,9 +207,9 @@ def _build_dependencies(gates: Sequence[Gate]) -> List[List[int]]:
 
 def _extended_set(
     gates: Sequence[Gate],
+    two_qubit: Sequence[bool],
     ready: Sequence[int],
     successors: Sequence[Sequence[int]],
-    remaining_preds: Sequence[int],
     lookahead: int,
 ) -> List[Gate]:
     """Upcoming two-qubit gates reachable from the front layer."""
@@ -214,7 +224,7 @@ def _extended_set(
                     continue
                 seen.add(succ)
                 nxt.append(succ)
-                if gates[succ].is_two_qubit:
+                if two_qubit[succ]:
                     extended.append(gates[succ])
                     if len(extended) >= lookahead:
                         break
@@ -228,37 +238,55 @@ def _choose_swap(
     front: Sequence[Gate],
     extended: Sequence[Gate],
     mapping: _Mapping,
-    graph: nx.Graph,
-    distances: Dict[Tuple[int, int], int],
+    adjacency: Sequence[FrozenSet[int]],
+    dist_rows: Sequence[Sequence[float]],
     lookahead_weight: float,
 ) -> Tuple[int, int]:
+    l2p = mapping.l2p
     candidates = set()
     for gate in front:
         for logical in gate.qubits:
-            physical = mapping.physical(logical)
-            for neighbor in graph.neighbors(physical):
-                candidates.add(tuple(sorted((physical, neighbor))))
+            physical = l2p[logical]
+            for neighbor in adjacency[physical]:
+                candidates.add(
+                    (physical, neighbor) if physical < neighbor else (neighbor, physical)
+                )
     if not candidates:
         raise RuntimeError("no SWAP candidates available; is the device connected?")
 
+    # Scoring is allocation-free: the physical endpoints of every heuristic
+    # gate are resolved once, and each candidate SWAP remaps only its own two
+    # qubits — no trial-mapping dicts are copied per candidate.  Unreachable
+    # look-ahead pairs get a large *finite* penalty so the front-layer term
+    # still discriminates between SWAP candidates (truly unroutable front
+    # gates fail fast in sabre_route).
+    far = float(len(l2p) + 10)
+    front_pairs = [(l2p[g.qubits[0]], l2p[g.qubits[1]]) for g in front]
+    ext_pairs = [(l2p[g.qubits[0]], l2p[g.qubits[1]]) for g in extended]
+    front_norm = max(1, len(front_pairs))
+    ext_norm = len(ext_pairs)
+
     def cost_after(swap: Tuple[int, int]) -> float:
-        trial = {**mapping.l2p}
         a, b = swap
-        inverse = {p: l for l, p in trial.items()}
-        la, lb = inverse.get(a), inverse.get(b)
-        if la is not None:
-            trial[la] = b
-        if lb is not None:
-            trial[lb] = a
 
-        def dist(gate: Gate) -> float:
-            pa, pb = (trial[q] for q in gate.qubits)
-            return distances.get((pa, pb), len(trial) + 10)
+        def pair_cost(pairs: Sequence[Tuple[int, int]]) -> float:
+            total = 0.0
+            for pa, pb in pairs:
+                if pa == a:
+                    pa = b
+                elif pa == b:
+                    pa = a
+                if pb == a:
+                    pb = b
+                elif pb == b:
+                    pb = a
+                value = dist_rows[pa][pb]
+                total += value if math.isfinite(value) else far
+            return total
 
-        front_cost = sum(dist(g) for g in front) / max(1, len(front))
-        ext_cost = (
-            sum(dist(g) for g in extended) / len(extended) if extended else 0.0
-        )
-        return front_cost + lookahead_weight * ext_cost
+        cost = pair_cost(front_pairs) / front_norm
+        if ext_norm:
+            cost += lookahead_weight * (pair_cost(ext_pairs) / ext_norm)
+        return cost
 
     return min(sorted(candidates), key=cost_after)

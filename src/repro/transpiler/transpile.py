@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
 from ..core.gst import GateSequenceTable
 from ..hardware.backend import Backend
 from .decompose import decompose_to_basis
@@ -74,6 +75,27 @@ class CompiledProgram:
         return self.gst.total_duration / 1000.0
 
 
+def _expand_routing_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower routing SWAPs to CNOT triples.
+
+    The routed circuit is the already-lowered program plus inserted ``swap``
+    gates, so this targeted expansion produces exactly what a second full
+    ``decompose_to_basis`` pass used to — without re-walking every gate
+    through the decomposition rules.
+    """
+    lowered: list = []
+    for gate in circuit.gates:
+        if gate.name == "swap":
+            a, b = gate.qubits
+            label = gate.label
+            lowered.append(Gate("cx", (a, b), label=label))
+            lowered.append(Gate("cx", (b, a), label=label))
+            lowered.append(Gate("cx", (a, b), label=label))
+        else:
+            lowered.append(gate)
+    return QuantumCircuit._trusted(circuit.num_qubits, circuit.name, lowered)
+
+
 def transpile(
     circuit: QuantumCircuit,
     backend: Backend,
@@ -102,7 +124,7 @@ def transpile(
             layout = trivial_layout(circuit.num_qubits)
 
     routed: RoutedCircuit = sabre_route(lowered, backend, layout)
-    physical = decompose_to_basis(routed.circuit)
+    physical = _expand_routing_swaps(routed.circuit)
     if optimize:
         physical = optimize_circuit(physical)
     physical.name = circuit.name

@@ -254,3 +254,49 @@ class TestCompileCache:
         batch.run_batch(circuit, [BatchJob(shots=32, seed=2)])
         assert batch.stats["program_compiles"] == 1
         assert batch.stats["program_hits"] == 1
+
+
+class TestMemoryBudgetSelection:
+    """Active-space memory budgeting threaded through select_engine."""
+
+    def test_no_budget_preserves_nominal_policy(self):
+        assert select_engine("auto", 9) == "density_matrix"
+        assert select_engine("auto", 20) == "trajectories"
+        assert select_engine("auto", 20, clifford=True) == "trajectories"
+        assert select_engine("auto", 8, clifford=True) == "stabilizer"
+
+    def test_dense_state_over_budget_degrades_to_trajectories(self):
+        # 10 active qubits: the dm state is 16 * 4^10 = 16 MiB.
+        name = select_engine(
+            "auto", 10, dm_qubit_limit=10,
+            memory_budget_bytes=1024 * 1024, trajectories=4,
+        )
+        assert name == "trajectories"
+
+    def test_large_clifford_program_rides_stabilizer_beyond_auto_limit(self):
+        # 20 active qubits: one trajectory stack is 16 * 100 * 2^20 = 1.6 GiB,
+        # but the stabilizer spectrum is only 8 * 2^20 = 8 MiB.
+        name = select_engine(
+            "auto", 20, clifford=True,
+            memory_budget_bytes=256 * 1024 * 1024, trajectories=100,
+        )
+        assert name == "stabilizer"
+        # A measurement context never takes the twirled path.
+        dense = select_engine(
+            "auto_dense", 20, clifford=True,
+            memory_budget_bytes=256 * 1024 * 1024, trajectories=100,
+        )
+        assert dense == "trajectories"
+
+    def test_nothing_fits_keeps_preferred_engine(self):
+        name = select_engine("auto", 30, memory_budget_bytes=1024, trajectories=100)
+        assert name == "trajectories"
+
+    def test_executors_share_the_budget_default(self):
+        from repro.hardware import DEFAULT_MEMORY_BUDGET_BYTES, Backend
+
+        backend = Backend.from_name("ibmq_rome")
+        sequential = NoisyExecutor(backend)
+        batched = BatchExecutor(backend)
+        assert sequential.memory_budget_bytes == DEFAULT_MEMORY_BUDGET_BYTES
+        assert batched.memory_budget_bytes == DEFAULT_MEMORY_BUDGET_BYTES

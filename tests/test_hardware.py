@@ -213,3 +213,163 @@ class TestBackend:
         gst = rome_backend.schedule(circuit)
         assert gst.total_duration > 0
         assert set(gst.active_qubits()) == {0, 1, 2}
+
+
+class TestHeavyHexFamily:
+    """The parametric heavy-hex generator and its registered device specs."""
+
+    def test_distance_2_reproduces_toronto_exactly(self):
+        generated = sorted(tuple(sorted(e)) for e in topologies.heavy_hex(2))
+        published = sorted(
+            tuple(sorted(e)) for e in topologies.COUPLING_MAPS["ibmq_toronto"]
+        )
+        assert generated == published
+
+    @pytest.mark.parametrize(
+        "distance,num_qubits,num_edges",
+        [(2, 27, 28), (3, 65, 72), (4, 127, 144)],
+    )
+    def test_published_lattice_counts(self, distance, num_qubits, num_edges):
+        edges = topologies.heavy_hex(distance)
+        assert topologies.heavy_hex_num_qubits(distance) == num_qubits
+        graph = topologies.coupling_graph(edges, num_qubits)
+        assert graph.number_of_nodes() == num_qubits
+        assert graph.number_of_edges() == num_edges
+
+    @pytest.mark.parametrize("distance", [2, 3, 4, 5])
+    def test_degree_bound_and_connectivity(self, distance):
+        import networkx as nx
+
+        edges = topologies.heavy_hex(distance)
+        n = topologies.heavy_hex_num_qubits(distance)
+        graph = topologies.coupling_graph(edges, n)
+        assert nx.is_connected(graph)
+        assert max(degree for _, degree in graph.degree) <= 3
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            topologies.heavy_hex(1)
+        with pytest.raises(ValueError):
+            topologies.heavy_hex_num_qubits(0)
+
+    def test_qubit_link_combinations_preserved_for_existing_devices(self):
+        # Section 3.2 / 3.3 counts must survive the generator refactor, and a
+        # generated Falcon lattice reproduces them exactly.
+        assert len(get_device("ibmq_guadalupe").qubit_link_combinations()) == 224
+        assert len(get_device("ibmq_toronto").qubit_link_combinations()) == 700
+        generated = topologies.qubit_link_combinations(topologies.heavy_hex(2), 27)
+        assert len(generated) == 700
+
+    def test_family_devices_registered(self):
+        brooklyn = get_device("ibm_brooklyn")
+        washington = get_device("ibm_washington")
+        assert brooklyn.num_qubits == 65
+        assert washington.num_qubits == 127
+        assert sorted(tuple(sorted(e)) for e in washington.edges) == sorted(
+            tuple(sorted(e)) for e in topologies.heavy_hex(4)
+        )
+        assert "ibm_brooklyn" in list_devices()
+        assert "ibm_washington" in list_devices()
+
+    def test_parametric_heavy_hex_device_axis(self):
+        from repro.hardware import heavy_hex_device
+
+        device = get_device("heavy_hex:5")
+        assert device.num_qubits == topologies.heavy_hex_num_qubits(5) == 209
+        assert device.name == "heavy_hex:5"
+        assert device is heavy_hex_device(5)  # memoized
+        # Toronto-derived error profile isolates the topology axis.
+        assert device.cnot_error == get_device("ibmq_toronto").cnot_error
+        with pytest.raises(KeyError):
+            get_device("heavy_hex:1")
+        with pytest.raises(KeyError):
+            get_device("heavy_hex:five")
+
+    def test_heavy_hex_backend_calibration_is_complete(self):
+        backend = Backend.from_name("ibm_brooklyn")
+        assert set(backend.calibration.qubits) == set(range(65))
+        assert len(backend.calibration.links) == 72
+
+    def test_heavy_hex_template_variants_are_distinct(self):
+        from repro.hardware import heavy_hex_device
+
+        toronto = heavy_hex_device(3)
+        guadalupe = heavy_hex_device(3, template="ibmq_guadalupe")
+        assert toronto is not guadalupe
+        assert guadalupe.cnot_error == get_device("ibmq_guadalupe").cnot_error
+        assert guadalupe.name == "heavy_hex:3@ibmq_guadalupe"
+        assert get_device(guadalupe.name) is guadalupe  # round-trips
+
+
+class TestDistanceCache:
+    """One graph traversal per topology, shared by every consumer."""
+
+    def test_cold_then_warm_single_build(self):
+        topologies.clear_distance_cache()
+        backend = Backend.from_name("ibmq_toronto")
+        first = backend.distance_matrix()
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+        assert backend.distance_matrix() is first
+        # Distances, rows, adjacency, DeviceSpec.distance and a second
+        # backend over the same device all reuse the one traversal.
+        backend.distance_rows()
+        backend.adjacency_sets()
+        assert backend.device.distance(0, 26) == int(first[0, 26])
+        other = Backend.from_name("ibmq_toronto", cycle=3)
+        assert other.distance_matrix() is first
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+        assert topologies.DISTANCE_CACHE_STATS["hits"] >= 2
+
+    def test_distance_array_is_read_only_and_symmetric(self):
+        array = topologies.distance_array(topologies.heavy_hex(3), 65)
+        assert (array == array.T).all()
+        assert array[0, 0] == 0
+        with pytest.raises(ValueError):
+            array[0, 1] = 99
+
+    def test_matches_networkx_reference(self):
+        import networkx as nx
+
+        edges = topologies.heavy_hex(3)
+        n = 65
+        array = topologies.build_distance_array(edges, n)
+        lengths = dict(
+            nx.all_pairs_shortest_path_length(topologies.coupling_graph(edges, n))
+        )
+        for a in range(0, n, 7):
+            for b in range(0, n, 5):
+                assert array[a, b] == lengths[a][b]
+
+
+class TestDisconnectedTopologies:
+    """Explicit sentinel instead of silently dropped unreachable pairs."""
+
+    def test_distance_matrix_uses_sentinel(self):
+        distances = topologies.distance_matrix([(0, 1), (2, 3)], 4)
+        assert distances[(0, 1)] == 1
+        assert distances[(0, 2)] == topologies.UNREACHABLE
+        assert distances[(0, 2)] == math.inf  # never a bare KeyError
+        assert len(distances) == 16  # every pair is present
+
+    def test_device_distance_raises_descriptive_error(self):
+        device = synthetic_device(4, edges=[(0, 1), (2, 3)], name="split")
+        assert device.distance(2, 3) == 1
+        with pytest.raises(ValueError, match="not connected"):
+            device.distance(0, 3)
+
+
+class TestSyntheticDeviceValidation:
+    """synthetic_device must reject inconsistent edge lists."""
+
+    def test_out_of_range_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            synthetic_device(4, edges=[(0, 7)])
+        with pytest.raises(ValueError, match="outside"):
+            synthetic_device(4, edges=[(0, 1), (3, 4)], name="off_by_one")
+
+    def test_figure3b_all_to_all_path_still_works(self):
+        device = synthetic_device(6, template="ibmq_toronto")
+        assert len(device.edges) == 15
+        assert device.distance(0, 5) == 1
+        backend = Backend(device)
+        assert backend.num_qubits == 6

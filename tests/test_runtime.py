@@ -364,3 +364,120 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["sweep", "--store", str(tmp_path)])
+
+
+class TestHardwareScalingKind:
+    """The device-scale task kind and the heavy-hex device axis."""
+
+    def test_run_task_produces_scaling_record(self, tmp_path):
+        from repro.runtime.tasks import run_task
+
+        store = ExperimentStore(tmp_path / "store")
+        params = {
+            "device": "ibmq_rome",
+            "benchmark": "GHZ-5",
+            "seed": 3,
+            "shots": 128,
+            "trajectories": 20,
+        }
+        meta, arrays = run_task("hardware_scaling", params, store)
+        assert meta["kind"] == "hardware_scaling"
+        (row,) = meta["rows"]
+        assert row["device"] == "ibmq_rome"
+        assert row["num_qubits"] == 5
+        assert row["benchmark"] == "GHZ-5"
+        assert 0.0 <= row["fidelity"] <= 1.0
+        assert row["engine"] in ("density_matrix", "trajectories")
+        assert row["num_swaps"] >= 0
+        assert row["transpile_s"] > 0
+
+    def test_heavy_hex_devices_resolve_task_keys(self):
+        key_named = resolve_task_key(
+            "hardware_scaling",
+            {"device": "ibm_brooklyn", "benchmark": "QFT-6A", "seed": 0},
+        )
+        key_param = resolve_task_key(
+            "hardware_scaling",
+            {"device": "heavy_hex:3", "benchmark": "QFT-6A", "seed": 0},
+        )
+        # Same topology but distinct specs (name, error profile) => new keys.
+        assert key_named != key_param
+        assert key_named == resolve_task_key(
+            "hardware_scaling",
+            {"device": "ibm_brooklyn", "benchmark": "QFT-6A", "seed": 0},
+        )
+
+    def test_sweep_expands_across_device_family(self):
+        spec = SweepSpec(
+            name="family",
+            kind="hardware_scaling",
+            devices=("ibmq_toronto", "ibm_brooklyn", "heavy_hex:5"),
+            workloads=("QFT-6A",),
+            seeds=(0,),
+        )
+        tasks = expand_sweep(spec, summary=False)
+        assert len(tasks) == 3
+        assert len({t.key for t in tasks}) == 3
+
+    def test_smoke_spec_includes_heavy_hex_leaf(self):
+        specs = smoke_spec()
+        kinds = {spec.kind for spec in specs}
+        assert "hardware_scaling" in kinds
+        scaling = next(s for s in specs if s.kind == "hardware_scaling")
+        assert "ibm_washington" in scaling.devices
+
+    def test_study_reads_through_store(self, tmp_path):
+        from repro.analysis.scaling import hardware_scaling_study
+
+        store = ExperimentStore(tmp_path / "store")
+        kwargs = dict(
+            device_names=("ibmq_rome",),
+            benchmark="GHZ-5",
+            shots=128,
+            trajectories=20,
+            seed=11,
+            store=store,
+        )
+        cold = hardware_scaling_study(**kwargs)
+        hits_before = store.stats.get("memory_hits", 0) + store.stats.get(
+            "disk_hits", 0
+        )
+        warm = hardware_scaling_study(**kwargs)
+        hits_after = store.stats.get("memory_hits", 0) + store.stats.get(
+            "disk_hits", 0
+        )
+        assert hits_after > hits_before
+        assert [r.device for r in warm] == [r.device for r in cold]
+        assert warm[0].fidelity == cold[0].fidelity
+
+    def test_task_kind_and_api_share_point_records(self, tmp_path):
+        from repro.analysis.scaling import hardware_scaling_study
+        from repro.runtime.tasks import run_task
+
+        store = ExperimentStore(tmp_path / "store")
+        params = {
+            "device": "ibmq_rome",
+            "benchmark": "GHZ-5",
+            "seed": 5,
+            "shots": 128,
+            "trajectories": 20,
+        }
+        run_task("hardware_scaling", params, store)
+        hits_before = store.stats.get("memory_hits", 0) + store.stats.get(
+            "disk_hits", 0
+        )
+        # The API study with the same knobs must be served from the same
+        # fine-grained record the CLI task populated.
+        (record,) = hardware_scaling_study(
+            device_names=("ibmq_rome",),
+            benchmark="GHZ-5",
+            shots=128,
+            trajectories=20,
+            seed=5,
+            store=store,
+        )
+        hits_after = store.stats.get("memory_hits", 0) + store.stats.get(
+            "disk_hits", 0
+        )
+        assert hits_after > hits_before
+        assert record.device == "ibmq_rome"

@@ -259,3 +259,43 @@ class TestTranspile:
     def test_gst_is_cached(self, rome_backend):
         compiled = transpile(ghz(3), rome_backend)
         assert compiled.gst is compiled.gst
+
+
+class TestDistanceCacheRegression:
+    """Cold/warm: the whole pipeline shares one graph traversal per backend."""
+
+    def test_transpile_performs_one_graph_traversal_per_backend(self):
+        from repro.hardware import Backend, topologies
+
+        topologies.clear_distance_cache()
+        backend = Backend.from_name("ibm_washington")  # calibration builds once
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+        circuit = qft_benchmark(6, "A")
+        cold = transpile(circuit, backend)  # layout + routing reuse the build
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+        warm = transpile(circuit, backend)
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+        assert warm.physical_circuit.gates == cold.physical_circuit.gates
+        # A different calibration cycle of the same device still shares it.
+        transpile(circuit, backend.with_calibration_cycle(2))
+        assert topologies.DISTANCE_CACHE_STATS["builds"] == 1
+
+    def test_routed_127q_program_respects_coupling(self):
+        from repro.hardware import Backend
+
+        backend = Backend.from_name("ibm_washington")
+        compiled = transpile(qft_benchmark(6, "A"), backend)
+        edge_set = {frozenset(edge) for edge in backend.edges}
+        for gate in compiled.physical_circuit:
+            if gate.is_two_qubit:
+                assert frozenset(gate.qubits) in edge_set
+
+    def test_disconnected_routing_fails_descriptively(self):
+        from repro.hardware import Backend, synthetic_device
+
+        backend = Backend(
+            synthetic_device(4, edges=[(0, 1), (2, 3)], name="split4")
+        )
+        circuit = QuantumCircuit(4).cx(0, 1).cx(0, 2)
+        with pytest.raises(RuntimeError, match="disconnected"):
+            sabre_route(circuit, backend, trivial_layout(4))
