@@ -1,0 +1,81 @@
+"""Performance gate for the device-scale mirror-workload path.
+
+The hardware-scaling study's whole point is that a 127-qubit mirror point is
+*cheap*: the workload is Clifford, so execution rides the stabilizer path —
+the sparse ``stabilizer_frames`` engine propagates Pauli frames in O(n) bits
+per event instead of materialising any 2^n state.  Before this path existed,
+the only engines able to express a 63-qubit active space would have needed a
+dense state of 2^63 amplitudes: hours (or rather: impossible), not seconds.
+
+Gates (nightly, non-blocking — wall-clock measurements are noisy on shared
+runners):
+
+* one cold end-to-end 127-qubit mirror scaling point (build + transpile +
+  execute + verify) must finish inside :data:`MAX_POINT_SECONDS`;
+* the point must actually run on the stabilizer path with a verified target;
+* two independent computations of the point must agree bit-for-bit on every
+  result field (the store's cold/warm contract), wall-clock fields excluded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from repro.analysis.scaling import hardware_scaling_point
+from repro.hardware import Backend
+from repro.testing import print_section
+
+#: Generous ceiling for one cold 127-qubit mirror point, end to end (seconds).
+#: Measured ~1s on a laptop-class machine; "seconds, not hours".
+MAX_POINT_SECONDS = 60.0
+
+#: Wall-clock fields excluded from the bit-identity comparison.
+_WALL_CLOCK_FIELDS = ("transpile_s", "evaluate_s")
+
+
+def _point():
+    backend = Backend.from_name("heavy_hex:4")  # the 127-qubit lattice
+    return hardware_scaling_point(
+        backend, benchmark="MIRROR:half@7", shots=2048, trajectories=60, seed=7
+    )
+
+
+def test_127q_mirror_point_runs_in_seconds_on_the_stabilizer_path():
+    start = time.perf_counter()
+    record = _point()
+    elapsed = time.perf_counter() - start
+
+    print_section("127-qubit mirror scaling point")
+    for label, value in (
+        ("benchmark", record.benchmark),
+        ("active qubits", record.num_active_qubits),
+        ("engine", record.engine),
+        ("verified", record.mirror_verified),
+        ("success probability", record.success_probability),
+        ("flip-free probability", record.flip_free_probability),
+        ("wall time (s)", round(elapsed, 2)),
+    ):
+        print(f"{label:24s} {value}")
+
+    assert elapsed < MAX_POINT_SECONDS, (
+        f"127-qubit mirror point took {elapsed:.1f}s"
+        f" (gate: {MAX_POINT_SECONDS}s) — the stabilizer path regressed"
+    )
+    assert record.benchmark == "MIRROR:63@7"
+    assert record.num_active_qubits >= 48
+    assert record.engine == "stabilizer_frames"
+    assert record.mirror_verified, "compiled ideal output diverged from the target"
+    assert record.flip_free_probability is not None
+    assert 0.0 < record.flip_free_probability < 1.0
+    assert 0.0 <= record.success_probability <= 1.0
+
+
+def test_127q_mirror_point_is_bit_identical_across_runs():
+    first = {
+        k: v for k, v in asdict(_point()).items() if k not in _WALL_CLOCK_FIELDS
+    }
+    second = {
+        k: v for k, v in asdict(_point()).items() if k not in _WALL_CLOCK_FIELDS
+    }
+    assert first == second

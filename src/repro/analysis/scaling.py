@@ -1,10 +1,9 @@
 """Hardware-scaling study: the evaluation pipeline across device sizes.
 
-The paper stops at the 27-qubit Falcon generation; this driver runs one
-workload across the whole heavy-hex family (Falcon-27, Hummingbird-65,
-Eagle-127 and parametric extrapolations) and reports Table-3-style device
-characteristics next to the compiled-program and end-to-end evaluation
-metrics at each scale:
+The paper stops at the 27-qubit Falcon generation; this driver runs workloads
+across the whole heavy-hex family (Falcon-27, Hummingbird-65, Eagle-127 and
+parametric extrapolations) and reports Table-3-style device characteristics
+next to the compiled-program and end-to-end evaluation metrics at each scale:
 
 * static device axis — qubit/link counts and the calibration averages that
   Table 3 reports (CNOT error, readout error, T1/T2);
@@ -14,16 +13,29 @@ metrics at each scale:
 * execution axis — the engine the auto policy selects for the routed active
   space, the active-qubit count, and the noisy fidelity of an end-to-end run.
 
-One record per device; :func:`hardware_scaling_study` sweeps a family and is
-exposed as the ``hardware_scaling`` task kind (``repro run`` / ``repro
-sweep``), storing each point under a calibration-content key.
+The default benchmark axis pairs the fixed ``QFT-6A`` (whose transpile
+metrics are comparable across devices) with a **device-proportional mirror
+workload** ``MIRROR:half@7`` — the literal size token ``half`` resolves, per
+device, to half the device's qubits — so the active space finally *grows*
+with the lattice.  Mirror points run on the stabilizer execution path
+(:mod:`repro.simulators.engines`): the target bitstring is known
+analytically, the sampled success probability is verified against it, and
+the engine's exact ``flip_free_probability`` provides a success floor that
+stays meaningful when the sampled probability underflows the trajectory
+resolution (at 127 qubits an unprotected mirror run succeeds with
+probability ~1e-20: the honest headline of scaling without error
+correction).
+
+One record per (device, benchmark); :func:`hardware_scaling_study` sweeps a
+family and is exposed as the ``hardware_scaling`` task kind (``repro run`` /
+``repro sweep``), storing each point under a calibration-content key.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from ..core.evaluation import compiled_ideal_distribution
 from ..hardware.backend import Backend
@@ -35,14 +47,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..store.store import ExperimentStore
 
 __all__ = [
+    "DEFAULT_SCALING_BENCHMARKS",
     "HEAVY_HEX_FAMILY",
     "HardwareScalingRecord",
+    "device_proportional_benchmark",
     "hardware_scaling_point",
     "hardware_scaling_study",
 ]
 
 #: The default device axis: the three IBM heavy-hex generations.
 HEAVY_HEX_FAMILY = ("ibmq_toronto", "ibm_brooklyn", "ibm_washington")
+
+#: Default benchmark axis: fixed-size transpile metrics + a device-
+#: proportional mirror verification workload (``half`` = num_qubits // 2).
+DEFAULT_SCALING_BENCHMARKS = ("QFT-6A", "MIRROR:half@7")
+
+#: Size token that scales with the device under study.
+_DEVICE_SIZE_TOKEN = "half"
+
+
+def device_proportional_benchmark(name: str, backend: Backend) -> str:
+    """Resolve the ``half`` size token of a parametric name against a device.
+
+    ``MIRROR:half@7`` on a 127-qubit lattice becomes ``MIRROR:63@7``; names
+    without the token pass through unchanged.  Only the scaling study speaks
+    this token — the workload resolver itself takes concrete integer sizes,
+    so store keys always name a concrete circuit.
+    """
+    family, sep, rest = name.partition(":")
+    if not sep:
+        return name
+    head, at, tail = rest.partition("@")
+    if head.lower() != _DEVICE_SIZE_TOKEN:
+        return name
+    size = max(2, backend.num_qubits // 2)
+    return f"{family}:{size}{at}{tail}"
 
 
 @dataclass(frozen=True)
@@ -69,25 +108,45 @@ class HardwareScalingRecord:
     success_probability: float
     transpile_s: float
     evaluate_s: float
+    #: Mirror verification: the analytically known target bitstring, whether
+    #: the compiled program's exact ideal distribution matched it, and the
+    #: engine-computed exact probability of a completely error-free run
+    #: (``None`` on dense engines, which have no such closed form, and for
+    #: non-deterministic ideal supports too large to average exactly).
+    mirror_target: str = ""
+    mirror_verified: bool = False
+    flip_free_probability: Optional[float] = None
 
 
 def hardware_scaling_point(
     backend: Backend,
-    benchmark: str = "QFT-6A",
+    benchmark: str = "MIRROR:half@7",
     shots: int = 2048,
     trajectories: int = 60,
     seed: int = 7,
-    engine: str = "auto_dense",
+    engine: Optional[str] = None,
 ) -> HardwareScalingRecord:
     """Transpile + execute one workload on one backend and measure everything.
 
-    The execution is a measurement context (reported fidelity), so the
-    default engine is ``"auto_dense"``; at large active spaces the executor's
-    memory budget steers the auto policy to the trajectory engine.
+    ``benchmark`` may carry the device-proportional ``half`` size token.  The
+    default engine depends on the workload: mirror circuits always ride the
+    stabilizer path (``stabilizer`` spectra would also work at small widths,
+    but ``stabilizer_frames`` keeps the per-point metrics — including the
+    exact flip-free probability — uniform across the device axis), while
+    everything else is a measurement context and stays on ``"auto_dense"``
+    (where the executor's memory budget steers large active spaces to the
+    trajectory engine).
     """
     from ..hardware.execution import NoisyExecutor
 
+    benchmark = device_proportional_benchmark(str(benchmark), backend)
     spec = get_benchmark(benchmark)
+    # A spec carrying an analytic expected output is a verification workload
+    # (the mirror family): only the resolver parses names.
+    verifiable = spec.expected_output is not None
+    if engine is None:
+        engine = "stabilizer_frames" if verifiable else "auto_dense"
+
     calibration = backend.calibration
 
     start = time.perf_counter()
@@ -106,6 +165,18 @@ def hardware_scaling_point(
         seed=seed,
     )
     evaluate_s = time.perf_counter() - start
+
+    target = ""
+    verified = False
+    if verifiable:
+        target = spec.expected_output()
+        # The compiled program's exact ideal output must be the analytic
+        # target, deterministically — this is the verification that makes
+        # the success probability meaningful at any width.
+        verified = (
+            max(ideal, key=ideal.get) == target and ideal[target] > 1.0 - 1e-9
+        )
+    flip_free = result.metadata.get("flip_free_probability")
 
     return HardwareScalingRecord(
         device=backend.name,
@@ -128,69 +199,91 @@ def hardware_scaling_point(
         success_probability=success_probability(ideal, result.probabilities),
         transpile_s=transpile_s,
         evaluate_s=evaluate_s,
+        mirror_target=target,
+        mirror_verified=verified,
+        flip_free_probability=None if flip_free is None else float(flip_free),
     )
 
 
 def hardware_scaling_study(
     device_names: Sequence[str] = HEAVY_HEX_FAMILY,
-    benchmark: str = "QFT-6A",
+    benchmark: Union[str, Sequence[str]] = DEFAULT_SCALING_BENCHMARKS,
     cycle: int = 0,
     shots: int = 2048,
     trajectories: int = 60,
     seed: int = 7,
-    engine: str = "auto_dense",
+    engine: Optional[str] = None,
     store: Optional["ExperimentStore"] = None,
 ) -> List[HardwareScalingRecord]:
-    """One scaling record per device, smallest to largest.
+    """One scaling record per (device, benchmark), smallest device first.
 
-    With a ``store``, every device point is read-through cached under its
+    ``benchmark`` is one name or a sequence of names; device-proportional
+    ``half`` tokens are resolved per device, so the default axis runs a
+    fixed QFT-6A *and* a mirror workload sized to half of every lattice.
+
+    With a ``store``, every point is read-through cached under its
     calibration-content key (the device fingerprint is part of it, so a
     topology change — e.g. a regenerated heavy-hex lattice — invalidates the
-    record automatically).  Wall-clock fields (``transpile_s`` /
-    ``evaluate_s``) are re-measured only when a point is recomputed.
+    record automatically).  Keys name the *resolved* benchmark, and
+    parametric builds are deterministic per name, so cold and warm runs are
+    bit-identical.  Wall-clock fields (``transpile_s`` / ``evaluate_s``) are
+    re-measured only when a point is recomputed.
     """
+    benchmarks: Sequence[str]
+    if isinstance(benchmark, str):
+        benchmarks = (benchmark,)
+    else:
+        benchmarks = tuple(str(b) for b in benchmark)
     records: List[HardwareScalingRecord] = []
     for name in device_names:
         backend = Backend.from_name(str(name), cycle=int(cycle))
+        for requested in benchmarks:
+            resolved = device_proportional_benchmark(str(requested), backend)
+            # Canonical spec name: case-variant spellings of the same
+            # workload must share one store key (and match the record's own
+            # benchmark column).
+            resolved = get_benchmark(resolved).name
 
-        def compute(backend: Backend = backend) -> HardwareScalingRecord:
-            return hardware_scaling_point(
-                backend,
-                benchmark=benchmark,
-                shots=shots,
-                trajectories=trajectories,
-                seed=seed,
-                engine=engine,
+            def compute(
+                backend: Backend = backend, resolved: str = resolved
+            ) -> HardwareScalingRecord:
+                return hardware_scaling_point(
+                    backend,
+                    benchmark=resolved,
+                    shots=shots,
+                    trajectories=trajectories,
+                    seed=seed,
+                    engine=engine,
+                )
+
+            if store is None:
+                records.append(compute())
+                continue
+            from ..store import calibration_fingerprint, task_key
+            from ..store.records import read_through
+
+            key = task_key(
+                "hardware_scaling_point",
+                {
+                    "calibration": calibration_fingerprint(backend.calibration),
+                    "benchmark": resolved,
+                    "shots": int(shots),
+                    "trajectories": int(trajectories),
+                    "seed": int(seed),
+                    "engine": engine if engine is None else str(engine),
+                },
             )
-
-        if store is None:
-            records.append(compute())
-            continue
-        from ..store import calibration_fingerprint, task_key
-        from ..store.records import read_through
-
-        key = task_key(
-            "hardware_scaling_point",
-            {
-                "calibration": calibration_fingerprint(backend.calibration),
-                "benchmark": str(benchmark),
-                "shots": int(shots),
-                "trajectories": int(trajectories),
-                "seed": int(seed),
-                "engine": str(engine),
-            },
-        )
-        records.append(
-            read_through(
-                store,
-                key,
-                compute,
-                encode=lambda record: (
-                    {"kind": "hardware_scaling_point", "row": asdict(record)},
-                    {},
-                ),
-                decode=lambda meta, arrays: HardwareScalingRecord(**meta["row"]),
+            records.append(
+                read_through(
+                    store,
+                    key,
+                    compute,
+                    encode=lambda record: (
+                        {"kind": "hardware_scaling_point", "row": asdict(record)},
+                        {},
+                    ),
+                    decode=lambda meta, arrays: HardwareScalingRecord(**meta["row"]),
+                )
             )
-        )
-    records.sort(key=lambda r: (r.num_qubits, r.device))
+    records.sort(key=lambda r: (r.num_qubits, r.device, r.benchmark))
     return records

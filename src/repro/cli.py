@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     ls.add_argument("--stats", action="store_true", help="show aggregated cache stats")
     ls.add_argument("--keys", action="store_true", help="print full keys")
     ls.add_argument("--limit", type=int, default=40, help="max records to list")
+    ls.add_argument(
+        "--benchmarks",
+        action="store_true",
+        help="list the workload suite (fixed names + parametric families)",
+    )
 
     gc = sub.add_parser("gc", help="reclaim stale/corrupt/orphaned artifacts")
     add_store(gc)
@@ -200,6 +205,20 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_ls(args) -> int:
+    if args.benchmarks:
+        # A suite listing, not a store listing: usable with no store at all.
+        from .workloads.suite import BENCHMARKS, benchmark_families
+
+        print("fixed benchmarks")
+        for name in sorted(BENCHMARKS):
+            spec = BENCHMARKS[name]
+            table4 = "table4" if spec.in_table4 else "aux"
+            print(f"  {name:10s} {spec.num_qubits:3d}q  {table4:6s}  {spec.description}")
+        print()
+        print("parametric families (resolved on demand, deterministic per name)")
+        for family, grammar in sorted(benchmark_families().items()):
+            print(f"  {family:10s} {grammar}")
+        return 0
     store = _open_store(args)
     rows = store.ls()
     by_kind: Dict[str, int] = {}

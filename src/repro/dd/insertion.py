@@ -21,6 +21,7 @@ from .sequences import DDPulseTrain, DDSequence, get_sequence
 __all__ = [
     "DDAssignment",
     "DDPlan",
+    "WINDOW_KEY_ATOL_NS",
     "plan_dd",
     "materialize_dd_circuit",
 ]
@@ -69,6 +70,13 @@ class DDAssignment:
         return len(self.qubits)
 
 
+#: Window-endpoint tolerance (ns) of :meth:`DDPlan.train_for`.  Schedules are
+#: floating-point sums, so a window recomputed through a different arithmetic
+#: path (e.g. a fresh ALAP pass) can differ from the planned one by rounding
+#: noise; anything within a micro-nanosecond is the same physical window.
+WINDOW_KEY_ATOL_NS = 1e-6
+
+
 @dataclass
 class DDPlan:
     """Pulse trains keyed by the idle window they protect."""
@@ -76,12 +84,39 @@ class DDPlan:
     assignment: DDAssignment
     sequence_name: str
     trains: Dict[Tuple[int, float, float], DDPulseTrain] = field(default_factory=dict)
+    #: Lazily built per-qubit view of ``trains`` for the tolerance fallback
+    #: (rebuilt after ``add``); misses on unprotected qubits stay O(1).
+    _qubit_index: Optional[Dict[int, List[Tuple[float, float, DDPulseTrain]]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def train_for(self, window: IdleWindow) -> Optional[DDPulseTrain]:
-        return self.trains.get((window.qubit, window.start, window.end))
+        """The train protecting ``window``, tolerant to float rounding.
+
+        Exact float keys made a window recomputed through a different
+        arithmetic path silently return no train; the exact-key lookup is
+        kept as the fast path, with a per-qubit tolerance scan
+        (:data:`WINDOW_KEY_ATOL_NS`) as the fallback.
+        """
+        exact = self.trains.get((window.qubit, window.start, window.end))
+        if exact is not None:
+            return exact
+        if self._qubit_index is None:
+            index: Dict[int, List[Tuple[float, float, DDPulseTrain]]] = {}
+            for (qubit, start, end), train in self.trains.items():
+                index.setdefault(qubit, []).append((start, end, train))
+            self._qubit_index = index
+        for start, end, train in self._qubit_index.get(window.qubit, ()):
+            if (
+                abs(start - window.start) <= WINDOW_KEY_ATOL_NS
+                and abs(end - window.end) <= WINDOW_KEY_ATOL_NS
+            ):
+                return train
+        return None
 
     def add(self, window: IdleWindow, train: DDPulseTrain) -> None:
         self.trains[(window.qubit, window.start, window.end)] = train
+        self._qubit_index = None
 
     @property
     def num_protected_windows(self) -> int:

@@ -44,7 +44,13 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..core.gst import GateSequenceTable
 from ..dd.insertion import DDAssignment, DDPlan
-from ..simulators.engines import EngineJob, choose_branch, get_engine, select_engine
+from ..simulators.engines import (
+    EngineJob,
+    SparseDistribution,
+    choose_branch,
+    get_engine,
+    select_engine,
+)
 from ..simulators.statevector import SimulationError
 from .backend import Backend
 from .program import (
@@ -196,19 +202,49 @@ def _finalize(
     backend: Backend,
     program: CompiledNoisyProgram,
     job: BatchJob,
-    active_probs: np.ndarray,
+    active_probs: "np.ndarray | SparseDistribution",
     engine: str,
     sample_rng: np.random.Generator,
 ) -> ExecutionResult:
     outputs = program.resolve_outputs(job.output_qubits)
-    probs = _marginalize(active_probs, program.active, outputs)
-    probs = backend.gate_noise.apply_readout_error(probs, outputs)
-    counts = _sample(probs, job.shots, len(outputs), sample_rng)
-    prob_dict = {
-        format(i, f"0{len(outputs)}b"): float(p)
-        for i, p in enumerate(probs)
-        if p > 1e-12
-    }
+    extra_metadata: Dict[str, object] = {}
+    if isinstance(active_probs, SparseDistribution):
+        # Sparse engines resolve outputs and fold readout errors in per
+        # frame (a dense 2^n vector never exists at their scale); only the
+        # count sampling remains, drawn from the same sampling stream.
+        if not active_probs.readout_applied:
+            raise SimulationError(
+                "sparse engine results must arrive with readout errors"
+                " already applied; the pipeline has no sparse readout pass"
+            )
+        if active_probs.num_bits != len(outputs):
+            raise SimulationError(
+                f"sparse engine returned {active_probs.num_bits}-bit outcomes"
+                f" for a {len(outputs)}-bit output register — the engine must"
+                " honor EngineJob.outputs"
+            )
+        extra_metadata.update(active_probs.metadata)
+        items = sorted(active_probs.probabilities.items())
+        weights = np.array([p for _, p in items], dtype=float)
+        weights = weights / weights.sum()
+        sampled = sample_rng.multinomial(job.shots, weights)
+        counts = {
+            bits: int(c) for (bits, _), c in zip(items, sampled) if c > 0
+        }
+        prob_dict = {
+            bits: float(p)
+            for (bits, _), p in zip(items, weights)
+            if p > 1e-12
+        }
+    else:
+        probs = _marginalize(active_probs, program.active, outputs)
+        probs = backend.gate_noise.apply_readout_error(probs, outputs)
+        counts = _sample(probs, job.shots, len(outputs), sample_rng)
+        prob_dict = {
+            format(i, f"0{len(outputs)}b"): float(p)
+            for i, p in enumerate(probs)
+            if p > 1e-12
+        }
     if job.dd_plan is not None:
         sequence_name = job.dd_plan.sequence_name
         pulses = job.dd_plan.total_pulses
@@ -233,6 +269,7 @@ def _finalize(
             "protected_windows": protected,
             "tag": job.tag,
             "seed": job.seed,
+            **extra_metadata,
         },
     )
 
@@ -258,9 +295,15 @@ def execute_program_jobs(
     if not jobs:
         return []
     # Fail fast on unresolvable output qubits before any engine work: a bad
-    # job must not cost a whole sub-batch of simulation first.
-    for job in jobs:
-        program.resolve_outputs(job.output_qubits)
+    # job must not cost a whole sub-batch of simulation first.  The resolved
+    # active-space positions ride along to the engines so sparse engines can
+    # produce output-space results directly.
+    output_positions = [
+        tuple(
+            program.index_of[q] for q in program.resolve_outputs(job.output_qubits)
+        )
+        for job in jobs
+    ]
     n = len(program.active)
     groups: Dict[str, List[int]] = {}
     for j, job in enumerate(jobs):
@@ -291,19 +334,25 @@ def execute_program_jobs(
             subset = indices[start : start + chunk]
             sub_jobs = [jobs[j] for j in subset]
             sub_seeds = [job_seed(job) for job in sub_jobs]
+            sub_outputs = [output_positions[j] for j in subset]
             if engine.needs_streams:
                 pairs = [job_streams(s, trajectories) for s in sub_seeds]
                 sample_rngs = [pair[1] for pair in pairs]
                 engine_jobs = [
-                    EngineJob(variants=_job_variants(program, job), streams=pair[0])
-                    for job, pair in zip(sub_jobs, pairs)
+                    EngineJob(
+                        variants=_job_variants(program, job),
+                        streams=pair[0],
+                        outputs=outputs,
+                    )
+                    for job, pair, outputs in zip(sub_jobs, pairs, sub_outputs)
                 ]
             else:
                 # Stream-free engines never touch the per-trajectory streams;
                 # materialize only the sampling stream (same child either way).
                 sample_rngs = [job_sample_rng(s, trajectories) for s in sub_seeds]
                 engine_jobs = [
-                    EngineJob(variants=_job_variants(program, job)) for job in sub_jobs
+                    EngineJob(variants=_job_variants(program, job), outputs=outputs)
+                    for job, outputs in zip(sub_jobs, sub_outputs)
                 ]
             probs = engine.run(program, engine_jobs, trajectories, stats=stats)
             for job, job_probs, j, sample_rng in zip(sub_jobs, probs, subset, sample_rngs):

@@ -39,15 +39,36 @@ def pearson_correlation(a: Sequence[float], b: Sequence[float]) -> float:
     return float(r)
 
 
+def _top_set(values: np.ndarray, top_k: int) -> set:
+    """Indices of every value tied with or above the k-th largest value.
+
+    ``np.argsort`` tie-breaks by input index, which made the score depend on
+    sequence order for tied inputs; including the whole tie group makes the
+    result deterministic and order-independent.
+    """
+    threshold = np.sort(values)[-top_k]
+    return set(np.flatnonzero(values >= threshold))
+
+
 def rank_agreement(a: Sequence[float], b: Sequence[float], top_k: int = 1) -> float:
-    """Fraction of the top-k entries of ``a`` that are also top-k in ``b``.
+    """Overlap of the top-k entries of ``a`` with the top-k entries of ``b``.
 
     A coarse "did the decoy pick a good combination" score used in ablations.
+    Values tied with the k-th largest are all treated as top-k, so the score
+    is invariant under reordering of the inputs; the overlap is normalised by
+    the larger of the two (possibly tie-expanded) sets, which reduces to the
+    plain ``|top_a ∩ top_b| / k`` whenever there are no ties.
     """
     if len(a) != len(b):
         raise ValueError("sequences must have equal length")
     if not 1 <= top_k <= len(a):
         raise ValueError("top_k must be between 1 and the sequence length")
-    top_a = set(np.argsort(a)[-top_k:])
-    top_b = set(np.argsort(b)[-top_k:])
-    return len(top_a & top_b) / top_k
+    values_a = np.asarray(a, dtype=float)
+    values_b = np.asarray(b, dtype=float)
+    # NaNs have no rank: the threshold comparison would silently empty the
+    # top sets (and divide by zero), so fail loudly instead.
+    if not (np.isfinite(values_a).all() and np.isfinite(values_b).all()):
+        raise ValueError("rank_agreement requires finite values")
+    top_a = _top_set(values_a, top_k)
+    top_b = _top_set(values_b, top_k)
+    return len(top_a & top_b) / max(len(top_a), len(top_b))

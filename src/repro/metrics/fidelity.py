@@ -39,10 +39,16 @@ def normalize_counts(counts: Mapping[str, float]) -> Dict[str, float]:
 
 
 def total_variation_distance(p: Distribution, q: Distribution) -> float:
-    """TVD between two distributions over bitstrings (Equation 2)."""
+    """TVD between two distributions over bitstrings (Equation 2).
+
+    Keys are summed in sorted order: set iteration follows the
+    hash-randomized string order, which made the trailing float bits differ
+    across interpreter processes — sorted summation keeps stored metrics
+    bit-identical to recomputed ones.
+    """
     p = normalize_counts(p)
     q = normalize_counts(q)
-    keys = set(p) | set(q)
+    keys = sorted(set(p) | set(q))
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
@@ -68,7 +74,7 @@ def success_probability(ideal: Distribution, observed: Distribution) -> float:
     ideal = normalize_counts(ideal)
     observed = normalize_counts(observed)
     threshold = 0.5 * max(ideal.values())
-    winners = {key for key, value in ideal.items() if value >= threshold}
+    winners = sorted(key for key, value in ideal.items() if value >= threshold)
     return sum(observed.get(key, 0.0) for key in winners)
 
 
@@ -76,7 +82,7 @@ def hellinger_distance(p: Distribution, q: Distribution) -> float:
     """Hellinger distance (in [0, 1]) between two distributions."""
     p = normalize_counts(p)
     q = normalize_counts(q)
-    keys = set(p) | set(q)
+    keys = sorted(set(p) | set(q))
     total = sum(
         (math.sqrt(p.get(k, 0.0)) - math.sqrt(q.get(k, 0.0))) ** 2 for k in keys
     )

@@ -70,7 +70,11 @@ class IdleWindowEffect:
         effective_phase = self.coherent_phase * self.dd_suppression
         if abs(effective_phase) > 0:
             ops.append(NoiseOp("rz", q, effective_phase))
-        if self.dd_coherent_rotation > 0:
+        # Nonzero check, not a sign check: miscalibrated pulses can over- OR
+        # under-rotate (negative dd_coherent_error calibrations), and the
+        # closed-form estimate (fidelity_proxy) counts the rotation through
+        # cos² either way — the applied noise must agree.
+        if self.dd_coherent_rotation != 0:
             ops.append(NoiseOp("rx", q, self.dd_coherent_rotation))
         if self.dd_pulse_depolarizing > 0:
             ops.append(NoiseOp("kraus", q, channels.depolarizing(self.dd_pulse_depolarizing)))

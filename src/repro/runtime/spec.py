@@ -157,10 +157,13 @@ def smoke_spec(scale: float = 1.0, seed: int = 7) -> List[SweepSpec]:
     """The built-in CLI smoke sweep: tiny but exercises every layer.
 
     One motivation figure, one calibration-drift probe, one full policy
-    comparison (ADAPT + Runtime-Best included) and one heavy-hex scaling
-    point on the 127-qubit Eagle lattice — enough to touch the transpiler
-    (cached distance matrices at scale included), the batch executor, the
-    stabilizer fast path and the store, in a few seconds.  ``scale``
+    comparison (ADAPT + Runtime-Best included) and two heavy-hex scaling
+    points on the 127-qubit Eagle lattice — the fixed QFT-6A transpile
+    probe plus a parametric ``MIRROR:48@7`` verification workload whose
+    48-qubit active space actually exercises the device-scale
+    stabilizer-frames path — enough to touch the transpiler (cached
+    distance matrices at scale included), the batch executor, both
+    stabilizer fast paths and the store, in a few seconds.  ``scale``
     multiplies the shot budgets (the CI job uses the default).
     """
     shots = max(64, int(512 * scale))
@@ -192,7 +195,7 @@ def smoke_spec(scale: float = 1.0, seed: int = 7) -> List[SweepSpec]:
             kind="hardware_scaling",
             devices=("ibm_washington",),
             cycles=(0,),
-            workloads=("QFT-6A",),
+            workloads=("QFT-6A", "MIRROR:48@7"),
             seeds=(seed,),
             params={"shots": shots, "trajectories": 40},
         ),

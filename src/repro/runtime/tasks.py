@@ -459,6 +459,7 @@ def _execute_hardware_scaling(params, store):
     # Route through the study driver so the fine-grained per-device record
     # (one read-through key per point) is shared between CLI sweeps and
     # direct hardware_scaling_study(store=...) API calls.
+    engine = params.get("engine")
     (record,) = hardware_scaling_study(
         device_names=(str(params["device"]),),
         benchmark=str(params["benchmark"]),
@@ -466,7 +467,7 @@ def _execute_hardware_scaling(params, store):
         shots=int(params["shots"]),
         trajectories=int(params["trajectories"]),
         seed=int(params["seed"]),
-        engine=str(params["engine"]),
+        engine=None if engine is None else str(engine),
         store=store,
     )
     return encode_rows("hardware_scaling", [asdict(record)])
@@ -480,7 +481,10 @@ _register(
             "cycle": 0,
             "shots": 2048,
             "trajectories": 60,
-            "engine": "auto_dense",
+            # None = per-workload policy: mirror workloads ride the
+            # stabilizer path, everything else stays a measurement context
+            # on auto_dense (see analysis.scaling.hardware_scaling_point).
+            "engine": None,
         },
         execute=_execute_hardware_scaling,
         key_extras=_cal_extras,
@@ -546,11 +550,16 @@ def _headline(meta: dict):
         rows = meta.get("rows", [])
         if rows:
             row = rows[0]
-            return {
+            headline = {
                 "device": row.get("device"),
                 "num_qubits": row.get("num_qubits"),
                 "fidelity": row.get("fidelity"),
             }
+            if row.get("mirror_target"):
+                headline["success_probability"] = row.get("success_probability")
+                headline["flip_free_probability"] = row.get("flip_free_probability")
+                headline["verified"] = row.get("mirror_verified")
+            return headline
         return {"rows": 0}
     if "rows" in meta:
         return {"rows": len(meta["rows"])}

@@ -2,7 +2,8 @@
 
 :mod:`repro.simulators.engines` additionally hosts the pluggable
 execution-engine registry consumed by ``repro.hardware`` (density matrix,
-trajectories, and the Clifford stabilizer fast path).
+trajectories, the Clifford stabilizer fast path, and the sparse
+device-scale ``stabilizer_frames`` path).
 """
 
 from .statevector import SimulationError, StatevectorSimulator
@@ -11,6 +12,7 @@ from .stabilizer import CliffordTableau, StabilizerSimulator
 from .extended_stabilizer import ExtendedStabilizerSimulator, SimulationReport
 from .engines import (
     ExecutionEngine,
+    SparseDistribution,
     available_engines,
     get_engine,
     register_engine,
@@ -25,6 +27,7 @@ __all__ = [
     "ExtendedStabilizerSimulator",
     "SimulationError",
     "SimulationReport",
+    "SparseDistribution",
     "StabilizerSimulator",
     "StatevectorSimulator",
     "available_engines",

@@ -7,7 +7,7 @@ through the engines registered here.  An engine consumes a
 template with pre-resolved operators) plus per-job window variants, and
 returns one active-space probability vector per job.
 
-Three engines are registered by default:
+Four engines are registered by default:
 
 * ``"density_matrix"`` — exact mixed-state evolution; channels are applied as
   precomputed superoperators, one BLAS-backed contraction over the whole
@@ -25,16 +25,24 @@ Three engines are registered by default:
   ideal one convolved (over GF(2)^n) with the propagated error-mask
   distribution — computed *exactly* via a Walsh–Hadamard transform, with no
   Monte-Carlo sampling and no 4^n density matrix.
+* ``"stabilizer_frames"`` — the *device-scale* Clifford path: the same
+  Pauli-twirled model, but the exact 2^n convolution is replaced by seeded
+  Pauli-*frame* sampling (one twirled branch per event per trajectory,
+  XOR-propagated in O(n) bits), and the result is a **sparse** output-space
+  distribution.  Memory scales with ``trajectories * qubits`` instead of
+  2^n, which is what lets a 127-qubit mirror workload execute in seconds.
 
 Engine selection policy lives here too (:func:`select_engine`): ``"auto"``
 picks the stabilizer fast path for Clifford-only programs, the dense density
-matrix up to ``dm_qubit_limit`` active qubits, and trajectories beyond.
+matrix up to ``dm_qubit_limit`` active qubits, and trajectories beyond; with
+a memory budget, Clifford programs too large for every dense state fall back
+to the frame engine.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +58,8 @@ __all__ = [
     "DensityMatrixEngine",
     "TrajectoryEngine",
     "StabilizerEngine",
+    "StabilizerFrameEngine",
+    "SparseDistribution",
     "available_engines",
     "get_engine",
     "register_engine",
@@ -83,11 +93,42 @@ class EngineJob:
     ``variants`` holds one window-variant key per idle window of the program
     (see :meth:`~repro.hardware.program.CompiledNoisyProgram.window_ops`);
     ``streams`` the per-trajectory RNG streams (only materialized for engines
-    with ``needs_streams``).
+    with ``needs_streams``).  ``outputs`` gives the job's output qubits as
+    *active-space positions* in output-bit order — dense engines ignore it
+    (the pipeline marginalizes their full vectors), sparse engines resolve
+    outputs themselves because a 2^n vector never exists.
     """
 
     variants: List[object]
     streams: Optional[List[np.random.Generator]] = None
+    outputs: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class SparseDistribution:
+    """Sparse *output-space* distribution returned by frame-based engines.
+
+    ``probabilities`` maps output bitstrings to probability mass.  Unlike the
+    dense per-active-qubit vectors, the support never exceeds the trajectory
+    count, so 100+ qubit programs stay cheap.  ``readout_applied`` records
+    that assignment errors were already folded in per frame — the execution
+    pipeline must not apply them a second time.  ``metadata`` carries
+    engine-computed exact quantities (e.g. the frame engine's
+    ``flip_free_probability``: the probability that a run suffers *no*
+    bit-flip error at all, which stays exactly computable when the sampled
+    success probability is below the frame resolution) and is merged into
+    :class:`~repro.hardware.execution.ExecutionResult` metadata.
+    """
+
+    probabilities: Dict[str, float]
+    num_bits: int
+    #: Sparse engines must fold readout assignment errors in themselves (a
+    #: dense readout pass over the output space does not exist at their
+    #: scale); the pipeline *rejects* sparse results that arrive without it.
+    #: Defaults to False so an engine that forgets readout entirely is caught
+    #: by the guard instead of silently skipping measurement errors.
+    readout_applied: bool = False
+    metadata: Dict[str, float] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -205,11 +246,14 @@ def select_engine(
     ``num_active`` / ``trajectories``) fits the budget wins.  This is what
     keeps the auto policy viable at the 127-qubit device scale — a routed
     program whose active space outgrows the dense engines degrades to
-    trajectories, and a Clifford program whose trajectory stack would blow
-    the budget rides the 2^n stabilizer spectrum beyond the nominal auto
-    limit.  If nothing fits, the nominally preferred engine is returned
-    unchanged (executors clamp oversized sub-batches to one job), so a budget
-    never changes which programs are *runnable*, only which engine runs them.
+    trajectories, a Clifford program whose trajectory stack would blow the
+    budget rides the 2^n stabilizer spectrum beyond the nominal auto limit,
+    and a Clifford program too large for even that spectrum (the 48+ qubit
+    mirror workloads) lands on the sparse ``stabilizer_frames`` engine, whose
+    state is ``trajectories * n`` bits and therefore always fits.  If nothing
+    fits, the nominally preferred engine is returned unchanged (executors
+    clamp oversized sub-batches to one job), so a budget never changes which
+    programs are *runnable*, only which engine runs them.
     """
     if engine not in ("auto", "auto_dense"):
         get_engine(engine)  # raises with the registered names listed
@@ -225,6 +269,10 @@ def select_engine(
         # Last resort beyond the nominal auto limit: the stabilizer state
         # grows 2^n, not 16^n, so it may be the only engine inside budget.
         candidates.append("stabilizer")
+    if stabilizer_ok and "stabilizer_frames" in _ENGINES:
+        # Final fallback at device scale: frame sampling never needs a dense
+        # state, so Clifford programs stay executable at any width.
+        candidates.append("stabilizer_frames")
     if memory_budget_bytes is not None:
         for name in candidates:
             state = get_engine(name).state_bytes(num_active, max(1, int(trajectories)))
@@ -612,80 +660,25 @@ class StabilizerEngine(ExecutionEngine):
         return ideal / ideal.sum()
 
     def _build_base(self, program) -> Dict[str, object]:
-        """One forward pass: the variant-independent part of the model.
+        """The variant-independent part of the model, from the shared table.
 
-        Twirls every shared gate-noise op and propagates its Paulis through
-        the *subsequent* Clifford gates with vectorized symplectic column
-        updates (phases are irrelevant: only the final X-mask of an error
-        changes computational-basis probabilities).  Alongside the noise
-        rows, a block of 2n Pauli *basis* rows (X_q, Z_q) is seeded at every
-        window slot: their propagated X-parts form the window's suffix
-        conjugation map, from which any later variant's spectrum is computed
-        without walking the template again.
+        The propagated mask table (:func:`_noise_mask_table`, shared with the
+        frame engine) supplies every shared noise event's branch
+        probabilities and end-propagated X-masks; here they are convolved
+        into one spectrum, alongside the exact ideal distribution.
         """
         n = program.num_active
-        events: List[Tuple[int, object, Tuple[np.ndarray, np.ndarray, np.ndarray], Tuple[int, ...]]] = []
-        for tidx, (kind, payload) in enumerate(program.template):
-            if kind == "op":
-                if payload.gate is not None:
-                    continue
-                events.append((tidx, "shared", self._twirl(payload), payload.positions))
-            else:
-                events.append((tidx, ("basis", payload), None, ()))
-
-        identity = np.eye(n, dtype=bool)
-        basis_x = np.vstack([identity, np.zeros((n, n), dtype=bool)])  # X_q then Z_q
-        basis_z = np.vstack([np.zeros((n, n), dtype=bool), identity])
-
-        total_rows = sum(
-            2 * n if twirl is None else twirl[1].shape[0] for _, _, twirl, _ in events
-        )
-        xparts = np.zeros((total_rows, n), dtype=bool)
-        zparts = np.zeros((total_rows, n), dtype=bool)
-        spans: List[Tuple[object, int, int, Optional[np.ndarray]]] = []
-
-        cursor = 0
-        event_iter = iter(events)
-        pending = next(event_iter, None)
-        for tidx, (kind, payload) in enumerate(program.template):
-            while pending is not None and pending[0] == tidx:
-                _, tag, twirl, positions = pending
-                if twirl is None:  # window slot: seed the 2n basis rows
-                    xparts[cursor : cursor + 2 * n] = basis_x
-                    zparts[cursor : cursor + 2 * n] = basis_z
-                    spans.append((tag, cursor, cursor + 2 * n, None))
-                    cursor += 2 * n
-                else:
-                    probs, xbits, zbits = twirl
-                    rows = xbits.shape[0]
-                    for column, position in enumerate(positions):
-                        xparts[cursor : cursor + rows, position] = xbits[:, column]
-                        zparts[cursor : cursor + rows, position] = zbits[:, column]
-                    spans.append((tag, cursor, cursor + rows, probs))
-                    cursor += rows
-                pending = next(event_iter, None)
-            if kind == "op" and payload.gate is not None:
-                self._propagate_gate(payload, xparts[:cursor], zparts[:cursor])
-
+        table = _noise_mask_table(program)
         shared = np.ones(2 ** n, dtype=float)
-        suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for tag, start, stop, probs in spans:
-            if probs is None:
-                widx = tag[1]
-                suffix_maps[widx] = (
-                    xparts[start : start + n].copy(),      # x-parts of images of X_q
-                    xparts[start + n : stop].copy(),       # x-parts of images of Z_q
-                )
-            else:
-                shared *= self._spectrum(
-                    probs, self._pack_masks(xparts[start:stop], n), n
-                )
-
+        for entry in table["sequence"]:
+            if entry[0] == "noise":
+                _, probs, masks = entry
+                shared *= self._spectrum(probs, self._pack_masks(masks, n), n)
         ideal = self._ideal_distribution(program)
         return {
             "ideal_wht": _fwht(ideal),
             "shared": shared,
-            "suffix_maps": suffix_maps,
+            "suffix_maps": table["suffix_maps"],
             "windows": {},
             "built": set(),
         }
@@ -693,19 +686,12 @@ class StabilizerEngine(ExecutionEngine):
     def _add_window_variant(self, program, cache, widx: int, variant: object) -> None:
         """Spectrum of one (window, variant): twirl its ops, map through the
         memoized suffix conjugation, convolve — no template re-walk."""
-        ops = program.window_ops(widx, variant)
-        if not ops:
+        events = _variant_mask_events(program, cache["suffix_maps"], widx, variant)
+        if not events:
             return
         n = program.num_active
-        x_of_x, x_of_z = cache["suffix_maps"][widx]
         spectrum = np.ones(2 ** n, dtype=float)
-        for op in ops:
-            probs, xbits, zbits = self._twirl(op)
-            rows = xbits.shape[0]
-            final_x = np.zeros((rows, n), dtype=bool)
-            for column, position in enumerate(op.positions):
-                final_x ^= xbits[:, column][:, None] & x_of_x[position][None, :]
-                final_x ^= zbits[:, column][:, None] & x_of_z[position][None, :]
+        for probs, final_x in events:
             spectrum *= self._spectrum(probs, self._pack_masks(final_x, n), n)
         cache["windows"][(widx, variant)] = spectrum
 
@@ -775,6 +761,377 @@ class StabilizerEngine(ExecutionEngine):
             raise SimulationError(f"gate '{name}' is not Clifford-propagatable")
 
 
+# ---------------------------------------------------------------------------
+# Shared twirled-mask propagation (stabilizer + stabilizer_frames)
+# ---------------------------------------------------------------------------
+
+
+def _noise_mask_table(program) -> Dict[str, object]:
+    """Template-ordered twirled noise events with end-propagated X-masks.
+
+    One forward pass over the compiled template: every shared gate-noise op
+    is Pauli-twirled and its branches propagated through the *subsequent*
+    Clifford gates with vectorized symplectic column updates (phases are
+    irrelevant: only the final X-mask of an error changes computational-basis
+    probabilities).  Alongside the noise rows, a block of 2n Pauli *basis*
+    rows (X_q, Z_q) is seeded at every window slot: their propagated X-parts
+    form the window's suffix conjugation map, from which any variant's masks
+    are computed later without walking the template again.
+
+    The table is the shared substrate of both Clifford engines — the dense
+    ``stabilizer`` engine convolves the masks into 2^n spectra, the sparse
+    ``stabilizer_frames`` engine samples them — and is built once per
+    compiled program (``engine_cache["stabilizer_masks"]``).
+    """
+    cached = program.engine_cache.get("stabilizer_masks")
+    if cached is not None:
+        return cached
+    n = program.num_active
+    events: List[Tuple[int, object, Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]], Tuple[int, ...]]] = []
+    for tidx, (kind, payload) in enumerate(program.template):
+        if kind == "op":
+            if payload.gate is not None:
+                continue
+            events.append((tidx, "noise", StabilizerEngine._twirl(payload), payload.positions))
+        else:
+            events.append((tidx, ("window", payload), None, ()))
+
+    identity = np.eye(n, dtype=bool)
+    basis_x = np.vstack([identity, np.zeros((n, n), dtype=bool)])  # X_q then Z_q
+    basis_z = np.vstack([np.zeros((n, n), dtype=bool), identity])
+
+    total_rows = sum(
+        2 * n if twirl is None else twirl[1].shape[0] for _, _, twirl, _ in events
+    )
+    xparts = np.zeros((total_rows, n), dtype=bool)
+    zparts = np.zeros((total_rows, n), dtype=bool)
+    spans: List[Tuple[object, int, int, Optional[np.ndarray]]] = []
+
+    cursor = 0
+    event_iter = iter(events)
+    pending = next(event_iter, None)
+    for tidx, (kind, payload) in enumerate(program.template):
+        while pending is not None and pending[0] == tidx:
+            _, tag, twirl, positions = pending
+            if twirl is None:  # window slot: seed the 2n basis rows
+                xparts[cursor : cursor + 2 * n] = basis_x
+                zparts[cursor : cursor + 2 * n] = basis_z
+                spans.append((tag, cursor, cursor + 2 * n, None))
+                cursor += 2 * n
+            else:
+                probs, xbits, zbits = twirl
+                rows = xbits.shape[0]
+                for column, position in enumerate(positions):
+                    xparts[cursor : cursor + rows, position] = xbits[:, column]
+                    zparts[cursor : cursor + rows, position] = zbits[:, column]
+                spans.append((tag, cursor, cursor + rows, probs))
+                cursor += rows
+            pending = next(event_iter, None)
+        if kind == "op" and payload.gate is not None:
+            StabilizerEngine._propagate_gate(payload, xparts[:cursor], zparts[:cursor])
+
+    sequence: List[Tuple] = []
+    suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    shared_flip_free = 1.0
+    for tag, start, stop, probs in spans:
+        if probs is None:
+            widx = tag[1]
+            suffix_maps[widx] = (
+                xparts[start : start + n].copy(),      # x-parts of images of X_q
+                xparts[start + n : stop].copy(),       # x-parts of images of Z_q
+            )
+            sequence.append(("window", widx))
+        else:
+            masks = xparts[start:stop].copy()
+            sequence.append(("noise", probs, masks))
+            shared_flip_free *= _flip_free_weight(probs, masks)
+
+    table = {
+        "sequence": sequence,
+        "suffix_maps": suffix_maps,
+        "shared_flip_free": shared_flip_free,
+    }
+    program.engine_cache["stabilizer_masks"] = table
+    return table
+
+
+def _flip_free_weight(probs: np.ndarray, masks: np.ndarray) -> float:
+    """Probability that one twirled event contributes no X-flip at all."""
+    zero_rows = ~masks.any(axis=1)
+    return float(probs[zero_rows].sum())
+
+
+def _variant_mask_events(
+    program, suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]], widx: int, variant: object
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """``(probs, end-propagated X-masks)`` of one (window, variant)'s ops."""
+    ops = program.window_ops(widx, variant)
+    if not ops:
+        return []
+    n = program.num_active
+    x_of_x, x_of_z = suffix_maps[widx]
+    events: List[Tuple[np.ndarray, np.ndarray]] = []
+    for op in ops:
+        probs, xbits, zbits = StabilizerEngine._twirl(op)
+        rows = xbits.shape[0]
+        final_x = np.zeros((rows, n), dtype=bool)
+        for column, position in enumerate(op.positions):
+            final_x ^= xbits[:, column][:, None] & x_of_x[position][None, :]
+            final_x ^= zbits[:, column][:, None] & x_of_z[position][None, :]
+        events.append((probs, final_x))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Sparse stabilizer frame engine (device-scale Clifford path)
+# ---------------------------------------------------------------------------
+
+
+class StabilizerFrameEngine(ExecutionEngine):
+    """Pauli-frame sampling over the twirled stabilizer model, at any width.
+
+    Same noise model as :class:`StabilizerEngine` — every channel replaced by
+    its Pauli twirl, only X-components affecting outcomes — but instead of
+    the exact 2^n Walsh–Hadamard convolution (impossible beyond ~25 active
+    qubits) each per-trajectory stream samples one *frame*: a concrete branch
+    per twirled event, whose end-propagated X-masks XOR together in O(n)
+    bits.  The ideal outcome per frame is drawn from the affine-subspace
+    structure of the final stabilizer state (computed once per program;
+    deterministic programs — the mirror workloads — have a single point),
+    readout assignment errors are folded in per frame, and the result is a
+    :class:`SparseDistribution` over the *output* bits.
+
+    This is the engine that makes the device-scale mirror workloads
+    executable: state is ``trajectories × n`` bits, so the 127-qubit points
+    of the hardware-scaling study run in seconds.  Within the twirled model
+    the estimate is unbiased; precision scales as ``1/sqrt(trajectories)``,
+    and seeded runs are deterministic and batch-invariant (per-trajectory
+    streams follow the same protocol as the trajectory engine).
+    """
+
+    name = "stabilizer_frames"
+    needs_streams = True
+
+    def supports(self, program) -> bool:
+        return bool(getattr(program, "is_clifford", False))
+
+    def state_bytes(self, num_active: int, trajectories: int) -> int:
+        return max(1, num_active * max(1, trajectories))
+
+    # -- public entry --------------------------------------------------
+
+    def run(self, program, jobs, trajectories, stats=None):
+        if not self.supports(program):
+            raise SimulationError(
+                "the stabilizer_frames engine requires a Clifford-only compiled"
+                " program; use engine='auto', 'density_matrix' or 'trajectories'"
+            )
+        n = program.num_active
+        table = _noise_mask_table(program)
+        base, basis = self._ideal_structure(program)
+        window_cache: Dict[
+            Tuple[int, object], Tuple[List[Tuple[np.ndarray, np.ndarray]], float]
+        ] = program.engine_cache.setdefault("stabilizer_frame_windows", {})
+        survival_cache: Dict[Tuple[int, ...], Optional[float]] = (
+            program.engine_cache.setdefault("stabilizer_frame_survival", {})
+        )
+        readout = self._readout_rates(program)
+        used_variants: set = set()
+        results = []
+        for job in jobs:
+            streams = job.streams
+            T = len(streams)
+            flips = np.zeros((T, n), dtype=bool)
+            flip_free = float(table["shared_flip_free"])
+
+            def apply_events(events) -> None:
+                for probs, masks in events:
+                    if not masks.any():
+                        # Pure-Z noise never changes computational-basis
+                        # outcomes; skipping it (deterministically, for every
+                        # job alike) keeps stream consumption consistent.
+                        continue
+                    cumulative = np.cumsum(probs)
+                    draws = np.fromiter(
+                        (stream.random() for stream in streams), dtype=float, count=T
+                    )
+                    chosen = np.minimum(
+                        np.searchsorted(cumulative, draws, side="right"),
+                        len(cumulative) - 1,
+                    )
+                    np.logical_xor(flips, masks[chosen], out=flips)
+
+            for entry in table["sequence"]:
+                if entry[0] == "noise":
+                    apply_events([(entry[1], entry[2])])
+                    continue
+                widx = entry[1]
+                variant = job.variants[widx]
+                if variant == "skip":
+                    continue
+                key = (widx, variant)
+                cached = window_cache.get(key)
+                if cached is None:
+                    events = _variant_mask_events(
+                        program, table["suffix_maps"], widx, variant
+                    )
+                    weight = 1.0
+                    for probs, masks in events:
+                        weight *= _flip_free_weight(probs, masks)
+                    cached = (events, weight)
+                    window_cache[key] = cached
+                events, weight = cached
+                flip_free *= weight
+                if events:
+                    used_variants.add(key)
+                apply_events(events)
+
+            if basis.shape[0]:
+                free_bits = np.empty((T, basis.shape[0]), dtype=np.uint8)
+                for t, stream in enumerate(streams):
+                    free_bits[t] = stream.integers(0, 2, size=basis.shape[0])
+                ideal_bits = ((free_bits @ basis.astype(np.uint8)) % 2).astype(bool)
+                outcomes = base[None, :] ^ ideal_bits ^ flips
+            else:
+                outcomes = base[None, :] ^ flips
+
+            positions = job.outputs if job.outputs is not None else tuple(range(n))
+            out_bits = outcomes[:, list(positions)]
+            for column, position in enumerate(positions):
+                p01, p10 = readout[position]
+                if p01 <= 0.0 and p10 <= 0.0:
+                    continue
+                draws = np.fromiter(
+                    (stream.random() for stream in streams), dtype=float, count=T
+                )
+                flip = np.where(out_bits[:, column], draws < p10, draws < p01)
+                out_bits[:, column] ^= flip
+
+            if positions not in survival_cache:
+                survival_cache[positions] = self._readout_survival(
+                    base, basis, positions, readout
+                )
+            survival = survival_cache[positions]
+
+            weight = 1.0 / T
+            probabilities: Dict[str, float] = {}
+            for row in out_bits:
+                bits = "".join("1" if bit else "0" for bit in row)
+                probabilities[bits] = probabilities.get(bits, 0.0) + weight
+            results.append(
+                SparseDistribution(
+                    probabilities=probabilities,
+                    num_bits=len(positions),
+                    readout_applied=True,
+                    metadata=(
+                        {}
+                        if survival is None
+                        else {"flip_free_probability": flip_free * survival}
+                    ),
+                )
+            )
+        if stats is not None:
+            stats["window_variants"] = stats.get("window_variants", 0) + len(used_variants)
+        return results
+
+    # -- per-program structure -----------------------------------------
+
+    #: Exact readout-survival averaging enumerates the ideal affine support;
+    #: beyond this many free bits the expectation is not computed and the
+    #: ``flip_free_probability`` metadata is *omitted* rather than reported
+    #: approximately.
+    _MAX_FREE_BITS_FOR_SURVIVAL = 12
+
+    @staticmethod
+    def _readout_survival(
+        base: np.ndarray,
+        basis: np.ndarray,
+        positions: Tuple[int, ...],
+        readout: Dict[int, Tuple[float, float]],
+    ) -> Optional[float]:
+        """Expected readout survival of an error-free run, exactly.
+
+        ``E[prod_j P(bit j reads out correctly)]`` over the ideal outcome
+        distribution — uniform on the affine support ``base ⊕ span(basis)``.
+        Deterministic programs (the mirror workloads) have a single point;
+        otherwise the support is enumerated (2^k points, capped by
+        :data:`_MAX_FREE_BITS_FOR_SURVIVAL` — ``None`` beyond it, so the
+        reported flip-free probability is exact or absent, never approximate).
+        """
+        k = basis.shape[0]
+        if k > StabilizerFrameEngine._MAX_FREE_BITS_FOR_SURVIVAL:
+            return None
+        columns = list(positions)
+        keep_zero = np.array([1.0 - readout[p][0] for p in positions])  # bit 0
+        keep_one = np.array([1.0 - readout[p][1] for p in positions])   # bit 1
+        base_bits = base[columns]
+        if k == 0:
+            return float(np.prod(np.where(base_bits, keep_one, keep_zero)))
+        free = (
+            (np.arange(2 ** k, dtype=np.uint32)[:, None] >> np.arange(k)[None, :]) & 1
+        ).astype(np.uint8)
+        bits = ((free @ basis[:, columns].astype(np.uint8)) % 2).astype(bool)
+        bits ^= base_bits[None, :]
+        survival = np.where(bits, keep_one[None, :], keep_zero[None, :]).prod(axis=1)
+        return float(survival.mean())
+
+    @staticmethod
+    def _readout_rates(program) -> Dict[int, Tuple[float, float]]:
+        """(p01, p10) per active-space position, from the calibration."""
+        rates: Dict[int, Tuple[float, float]] = {}
+        calibration = program.backend.calibration
+        for position, qubit in enumerate(program.active):
+            cal = calibration.qubit(qubit)
+            rates[position] = (float(cal.readout_p01), float(cal.readout_p10))
+        return rates
+
+    def _ideal_structure(self, program) -> Tuple[np.ndarray, np.ndarray]:
+        """Affine support of the ideal outcome: ``base ⊕ span(basis)``.
+
+        A stabilizer state measured in the computational basis is uniform
+        over an affine subspace; measuring the tableau once with forced-zero
+        free bits gives the base point, and once per free bit (forced one)
+        gives the subspace basis.  Mirror workloads are fully deterministic,
+        so their basis is empty and every frame shares one ideal outcome.
+        """
+        cached = program.engine_cache.get("stabilizer_frames_ideal")
+        if cached is not None:
+            return cached
+        n = program.num_active
+        circuit = QuantumCircuit(n)
+        for kind, payload in program.template:
+            if kind == "op" and payload.gate is not None:
+                circuit.append(
+                    Gate(payload.gate.name, payload.positions, payload.gate.params)
+                )
+        final = StabilizerSimulator().run(circuit)
+        rng = np.random.default_rng(0)
+
+        def forced_pass(forced_free: Optional[int]) -> Tuple[np.ndarray, List[int]]:
+            tableau = final.copy()
+            bits = np.zeros(n, dtype=bool)
+            free: List[int] = []
+            for q in range(n):
+                if tableau.is_deterministic(q):
+                    bits[q] = bool(tableau.measure(q, rng))
+                else:
+                    free.append(q)
+                    bits[q] = bool(
+                        tableau.measure(q, rng, forced=1 if q == forced_free else 0)
+                    )
+            return bits, free
+
+        base, free = forced_pass(None)
+        basis = np.zeros((len(free), n), dtype=bool)
+        for row, qubit in enumerate(free):
+            bits, _ = forced_pass(qubit)
+            basis[row] = bits ^ base
+        structure = (base, basis)
+        program.engine_cache["stabilizer_frames_ideal"] = structure
+        return structure
+
+
 register_engine(DensityMatrixEngine())
 register_engine(TrajectoryEngine())
 register_engine(StabilizerEngine())
+register_engine(StabilizerFrameEngine())

@@ -55,7 +55,11 @@ __all__ = [
 #:    instead of region-subgraph path lengths) and threads a default memory
 #:    budget into auto engine selection — task-level keys hash inputs, not
 #:    compiled circuits, so pre-change records must stop matching.
-SCHEMA_VERSION = 2
+#: 3: the parametric-workload PR reshaped the hardware_scaling record
+#:    (mirror verification columns), changed the kind's default engine to
+#:    the per-workload policy, and fixed the negative-coherent-DD-error noise
+#:    path — stored results of affected tasks are no longer comparable.
+SCHEMA_VERSION = 3
 
 
 def _canonical(value):

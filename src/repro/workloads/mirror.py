@@ -1,0 +1,186 @@
+"""Seeded random-Clifford mirror circuits with an analytically known outcome.
+
+Mirror circuits are the scalable verification workload of the parametric
+suite (``MIRROR:<n>@<seed>``): a forward half ``F`` of seeded random
+single-qubit Cliffords and nearest-neighbour CNOT brick layers, a random
+Pauli layer ``P``, and the exact gate-by-gate inverse ``F†``.  The final
+state ``F† P F |0…0⟩`` is a *computational basis state*: conjugating each
+initial stabilizer ``Z_q`` through the circuit gives ``±Z_q``, with the sign
+set by whether ``P`` anticommutes with ``S_q = F Z_q F†``.  The target
+bitstring is therefore computable in ``O(gates · n)`` symplectic bit
+operations — no simulation of any kind — which is what makes the success
+probability of a 100+ qubit run *verifiable*: the ideal outcome is a known
+delta distribution at any size, and the noisy success probability is simply
+the probability mass an execution places on the target.
+
+Because every gate is Clifford, mirror workloads ride the stabilizer
+execution path end to end (the ``stabilizer`` spectrum engine at small
+active spaces, the ``stabilizer_frames`` sampling engine at device scale —
+see :mod:`repro.simulators.engines`), so a 127-qubit point costs seconds,
+not hours.
+
+Construction is deterministic per ``(num_qubits, seed, layers)``: the same
+name always builds the bit-identical circuit, which the experiment store
+relies on (circuit content is fingerprinted into every key).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = [
+    "DEFAULT_MIRROR_LAYERS",
+    "mirror_circuit",
+    "mirror_target",
+]
+
+#: Forward-half entangling layers of the default ``MIRROR:<n>@<seed>`` family
+#: member.  Fixed (not size-dependent) so that the circuit *depth* axis stays
+#: controlled while the *width* axis sweeps with the device.
+DEFAULT_MIRROR_LAYERS = 2
+
+#: Single-qubit Cliffords drawn for the forward half (names of the IR).
+_CLIFFORD_1Q = ("id", "x", "y", "z", "h", "s", "sdg", "sx", "sxdg")
+
+#: Pauli layer alphabet.
+_PAULIS = ("id", "x", "y", "z")
+
+
+def _forward_half(
+    num_qubits: int, rng: np.random.Generator, layers: int
+) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name="mirror-forward")
+    for layer in range(layers):
+        for qubit in range(num_qubits):
+            name = _CLIFFORD_1Q[int(rng.integers(0, len(_CLIFFORD_1Q)))]
+            if name != "id":
+                circuit.add(name, [qubit])
+        offset = layer % 2
+        for a in range(offset, num_qubits - 1, 2):
+            circuit.cx(a, a + 1)
+    return circuit
+
+
+def _pauli_layer(num_qubits: int, rng: np.random.Generator) -> List[str]:
+    return [_PAULIS[int(rng.integers(0, len(_PAULIS)))] for _ in range(num_qubits)]
+
+
+# ---------------------------------------------------------------------------
+# Symplectic conjugation (phase-free): enough to derive the target bitstring
+# ---------------------------------------------------------------------------
+
+#: x/z-part updates of conjugating a Pauli row by one Clifford gate.  Phases
+#: are irrelevant here: the mirror identity only needs the anticommutation
+#: parity between the Pauli layer and the propagated stabilizers.
+
+
+def _conjugate_rows(xparts: np.ndarray, zparts: np.ndarray, gate) -> None:
+    name = gate.name
+    qubits = gate.qubits
+    if name in ("id", "i", "x", "y", "z"):
+        return
+    if name == "h":
+        a = qubits[0]
+        xa = xparts[:, a].copy()
+        xparts[:, a] = zparts[:, a]
+        zparts[:, a] = xa
+    elif name in ("s", "sdg"):
+        a = qubits[0]
+        zparts[:, a] ^= xparts[:, a]
+    elif name in ("sx", "sxdg"):
+        a = qubits[0]
+        xparts[:, a] ^= zparts[:, a]
+    elif name in ("cx", "cnot"):
+        control, target = qubits
+        xparts[:, target] ^= xparts[:, control]
+        zparts[:, control] ^= zparts[:, target]
+    elif name == "cz":
+        a, b = qubits
+        zparts[:, b] ^= xparts[:, a]
+        zparts[:, a] ^= xparts[:, b]
+    elif name == "swap":
+        a, b = qubits
+        for parts in (xparts, zparts):
+            column = parts[:, a].copy()
+            parts[:, a] = parts[:, b]
+            parts[:, b] = column
+    else:  # pragma: no cover - the forward half only emits the gates above
+        raise ValueError(f"gate '{name}' is not supported by the mirror family")
+
+
+def _target_bits(forward: QuantumCircuit, paulis: List[str]) -> str:
+    """The deterministic outcome of ``F† P F |0…0⟩``.
+
+    Row ``q`` tracks ``S_q = F Z_q F†``; output bit ``q`` is 1 exactly when
+    the Pauli layer anticommutes with ``S_q``.
+    """
+    n = forward.num_qubits
+    xparts = np.zeros((n, n), dtype=bool)
+    zparts = np.eye(n, dtype=bool)
+    for gate in forward:
+        _conjugate_rows(xparts, zparts, gate)
+    pauli_x = np.array([p in ("x", "y") for p in paulis], dtype=bool)
+    pauli_z = np.array([p in ("z", "y") for p in paulis], dtype=bool)
+    # anticommute(S_q, P) = parity(x(S_q)·z(P)) xor parity(z(S_q)·x(P))
+    flips = np.logical_xor(
+        (xparts & pauli_z[None, :]).sum(axis=1) % 2,
+        (zparts & pauli_x[None, :]).sum(axis=1) % 2,
+    )
+    return "".join("1" if flip else "0" for flip in flips)
+
+
+# ---------------------------------------------------------------------------
+# Public constructors
+# ---------------------------------------------------------------------------
+
+
+def _build(
+    num_qubits: int, seed: int, layers: int
+) -> Tuple[QuantumCircuit, str]:
+    if num_qubits < 2:
+        raise ValueError("a mirror circuit needs at least two qubits")
+    if layers < 1:
+        raise ValueError("a mirror circuit needs at least one forward layer")
+    rng = np.random.default_rng(int(seed))
+    forward = _forward_half(num_qubits, rng, layers)
+    paulis = _pauli_layer(num_qubits, rng)
+    target = _target_bits(forward, paulis)
+
+    circuit = QuantumCircuit(num_qubits, name=f"mirror-{num_qubits}@{seed}")
+    for gate in forward:
+        circuit.append(gate)
+    for qubit, pauli in enumerate(paulis):
+        if pauli != "id":
+            circuit.add(pauli, [qubit])
+    for gate in forward.inverse():
+        circuit.append(gate)
+    return circuit, target
+
+
+def mirror_circuit(
+    num_qubits: int,
+    seed: int = 0,
+    layers: Optional[int] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Build the seeded random-Clifford mirror circuit ``MIRROR:<n>@<seed>``."""
+    circuit, _ = _build(num_qubits, seed, DEFAULT_MIRROR_LAYERS if layers is None else int(layers))
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def mirror_target(num_qubits: int, seed: int = 0, layers: Optional[int] = None) -> str:
+    """The noise-free measurement outcome of :func:`mirror_circuit`.
+
+    Computed analytically from the symplectic propagation of the initial
+    stabilizers — cross-checked against the tableau simulator in the test
+    suite — so it is available at any size for success-probability
+    verification.
+    """
+    _, target = _build(num_qubits, seed, DEFAULT_MIRROR_LAYERS if layers is None else int(layers))
+    return target

@@ -17,7 +17,16 @@ import networkx as nx
 
 from ..circuits.circuit import QuantumCircuit
 
-__all__ = ["qaoa_maxcut", "ring_graph", "random_regular_graph", "qaoa_benchmark"]
+__all__ = [
+    "qaoa_maxcut",
+    "path_graph",
+    "ring_graph",
+    "random_regular_graph",
+    "heavy_hex_subgraph",
+    "qaoa_benchmark",
+    "qaoa_on_graph",
+    "QAOA_GRAPHS",
+]
 
 Edge = Tuple[int, int]
 
@@ -25,6 +34,58 @@ Edge = Tuple[int, int]
 def ring_graph(num_nodes: int) -> List[Edge]:
     """Cycle graph edges (the sparse QAOA-xA instances)."""
     return [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+
+
+def path_graph(num_nodes: int) -> List[Edge]:
+    """Open-chain edges — the device-native graph of the parametric suite.
+
+    A path embeds into any connected coupling map with near-zero SWAP
+    overhead, so ``QAOA:<n>@path`` instances keep their CNOT structure
+    device-native at every size.
+    """
+    return [(i, i + 1) for i in range(num_nodes - 1)]
+
+
+def heavy_hex_subgraph(num_nodes: int) -> List[Edge]:
+    """Induced heavy-hex lattice edges on nodes ``0..num_nodes-1``.
+
+    The problem graph of ``QAOA:<n>@heavy_hex``: the smallest heavy-hex
+    lattice with at least ``num_nodes`` qubits (see
+    :func:`repro.hardware.topologies.heavy_hex`), restricted to the first
+    ``num_nodes`` node ids.  On heavy-hex devices the cost layer is therefore
+    (a subgraph of) the physical coupling map itself.
+    """
+    from ..hardware import topologies
+
+    distance = 2
+    while topologies.heavy_hex_num_qubits(distance) < num_nodes:
+        distance += 1
+    return [
+        (a, b)
+        for a, b in topologies.heavy_hex(distance)
+        if a < num_nodes and b < num_nodes
+    ]
+
+
+#: Named problem graphs of the parametric ``QAOA:<n>@<graph>`` family.
+QAOA_GRAPHS = {
+    "path": path_graph,
+    "ring": ring_graph,
+    "heavy_hex": heavy_hex_subgraph,
+}
+
+
+def qaoa_on_graph(num_qubits: int, graph: str, layers: int = 1) -> QuantumCircuit:
+    """The parametric QAOA instance ``QAOA:<n>@<graph>``."""
+    try:
+        builder = QAOA_GRAPHS[graph]
+    except KeyError:
+        raise ValueError(
+            f"unknown QAOA graph '{graph}'; known graphs: {sorted(QAOA_GRAPHS)}"
+        ) from None
+    circuit = qaoa_maxcut(num_qubits, builder(num_qubits), layers=layers)
+    circuit.name = f"qaoa-{num_qubits}@{graph}"
+    return circuit
 
 
 def random_regular_graph(num_nodes: int, degree: int = 3, seed: int = 11) -> List[Edge]:

@@ -162,6 +162,42 @@ class TestPlanning:
         window = gst.idle_windows(0)[0]
         assert plan.train_for(window) is not None
 
+    def test_train_lookup_survives_recomputed_window_arithmetic(self):
+        """Regression: exact float keys lost trains for recomputed schedules.
+
+        A window whose endpoints were recomputed through a different
+        arithmetic path (summing durations in another order) differs from the
+        planned one by float rounding; ``train_for`` must still find it.
+        """
+        from repro.core.gst import IdleWindow
+        from repro.dd.insertion import WINDOW_KEY_ATOL_NS
+
+        gst = GateSequenceTable(idle_heavy_circuit(), durations)
+        plan = plan_dd(gst, DDAssignment.all([0]), "xy4")
+        window = gst.idle_windows(0)[0]
+        # Simulate a second scheduling pass: same physical window, endpoints
+        # reassembled from thirds (not representable exactly in binary).
+        start = sum([window.start / 3.0] * 3)
+        end = sum([window.end / 3.0] * 3)
+        recomputed = IdleWindow(qubit=window.qubit, start=start, end=end)
+        if (start, end) != (window.start, window.end):
+            assert (window.qubit, start, end) not in plan.trains  # exact key misses
+        assert plan.train_for(recomputed) is plan.train_for(window)
+        # Far-away windows must still miss.
+        elsewhere = IdleWindow(
+            qubit=window.qubit,
+            start=window.start + 1e6,
+            end=window.end + 1e6,
+        )
+        assert plan.train_for(elsewhere) is None
+        assert WINDOW_KEY_ATOL_NS < 1e-3  # tolerance stays far below gate scales
+
+    def test_bitstring_length_mismatch_both_directions(self):
+        with pytest.raises(ValueError, match="does not match"):
+            DDAssignment.from_bitstring("0101", [1, 2, 3])
+        with pytest.raises(ValueError, match="does not match"):
+            DDAssignment.from_bitstring("01", [1, 2, 3])
+
 
 class TestMaterialisation:
     @pytest.mark.parametrize("sequence", ["xy4", "ibmq_dd", "cpmg"])

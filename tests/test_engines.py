@@ -24,11 +24,14 @@ TRAJECTORIES = 200
 #: Per-engine fidelity floor against the dense density-matrix reference.
 #: The DM engine is the reference itself; trajectories are Monte-Carlo
 #: (finite-sample error); the stabilizer fast path Pauli-twirls coherent
-#: rotations (model error bounded and small on these programs).
+#: rotations (model error bounded and small on these programs); the frame
+#: engine samples the same twirled model with TRAJECTORIES frames
+#: (Monte-Carlo error on top of the twirl).
 ENGINE_TOLERANCE = {
     "density_matrix": 1.0 - 1e-12,
     "trajectories": 0.94,
     "stabilizer": 0.995,
+    "stabilizer_frames": 0.93,
 }
 
 
@@ -53,7 +56,12 @@ SEEDS = [11, 22, 33]
 class TestRegistry:
     def test_default_engines_registered(self):
         names = available_engines()
-        assert {"density_matrix", "trajectories", "stabilizer"} <= set(names)
+        assert {
+            "density_matrix",
+            "trajectories",
+            "stabilizer",
+            "stabilizer_frames",
+        } <= set(names)
 
     def test_unknown_engine_error_lists_registered_names(self):
         with pytest.raises(ValueError) as excinfo:

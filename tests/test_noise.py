@@ -129,6 +129,52 @@ class TestIdleWindowEffect:
         with pytest.raises(ValueError):
             idle_noise.window_effect(0, -1.0)
 
+    @pytest.mark.parametrize("sign", [1.0, -1.0])
+    def test_coherent_pulse_error_applied_for_either_sign(self, sign):
+        """Regression: negative dd_coherent_error calibrations dropped the rx.
+
+        ``noise_ops`` used ``> 0`` where the closed-form ``fidelity_proxy``
+        counts the rotation through cos² either way — the applied noise and
+        the estimate disagreed for negative calibrations.
+        """
+        from repro.noise.idling import IdleWindowEffect
+
+        effect = IdleWindowEffect(
+            qubit=0,
+            duration_ns=4000.0,
+            t1_decay=0.0,
+            markovian_dephasing=0.0,
+            static_phase_std=0.0,
+            coherent_phase=0.0,
+            dd_suppression=0.5,
+            dd_pulse_count=4,
+            dd_pulse_depolarizing=0.0,
+            dd_coherent_rotation=sign * 0.21,
+        )
+        rx_ops = [op for op in effect.noise_ops() if op.kind == "rx"]
+        assert len(rx_ops) == 1
+        assert rx_ops[0].payload == pytest.approx(sign * 0.21)
+
+    def test_negative_coherent_error_calibration_hurts_applied_and_estimate(
+        self, idle_noise, calibration
+    ):
+        """A miscalibrated-pulse qubit is penalised regardless of error sign."""
+        import dataclasses
+
+        train = XY4Sequence().build_train(0, 0.0, 8000.0)
+        effect = idle_noise.window_effect(0, 8000.0, dd_train=train)
+        flipped = dataclasses.replace(
+            effect, dd_coherent_rotation=-0.02 * effect.dd_pulse_count
+        )
+        assert flipped.dd_coherent_rotation < 0
+        kinds = [op.kind for op in flipped.noise_ops()]
+        assert "rx" in kinds  # the applied noise now matches ...
+        proxy_clean = idle_noise.fidelity_proxy(
+            dataclasses.replace(flipped, dd_coherent_rotation=0.0)
+        )
+        # ... the closed-form estimate, which penalises either sign.
+        assert idle_noise.fidelity_proxy(flipped) < proxy_clean
+
     def test_noise_ops_are_well_formed(self, idle_noise):
         train = XY4Sequence().build_train(0, 0.0, 5000.0)
         effect = idle_noise.window_effect(0, 5000.0, [((1, 2), 2000.0)], train)

@@ -223,6 +223,45 @@ class TestMetrics:
         with pytest.raises(ValueError):
             rank_agreement(a, b, top_k=9)
 
+    def test_rank_agreement_rejects_non_finite_values(self):
+        with pytest.raises(ValueError, match="finite"):
+            rank_agreement([float("nan"), 1.0], [0.5, 1.0], top_k=1)
+        with pytest.raises(ValueError, match="finite"):
+            rank_agreement([0.5, 1.0], [float("inf"), 1.0], top_k=1)
+
+    def test_rank_agreement_is_order_independent_under_ties(self):
+        """Regression: argsort tie-breaks by index made ties order-dependent."""
+        a = [0.9, 0.9, 0.9, 0.1]
+        b = [0.9, 0.1, 0.9, 0.9]
+        score = rank_agreement(a, b, top_k=1)
+        # Reversing both sequences permutes the tied entries; the score must
+        # not move.
+        assert rank_agreement(a[::-1], b[::-1], top_k=1) == score
+        # All three tied leaders of each side are top-k; two of them overlap.
+        assert score == pytest.approx(2 / 3)
+
+    def test_rank_agreement_ties_with_kth_value_join_the_top_set(self):
+        a = [0.5, 0.5, 0.2, 0.1]
+        b = [0.5, 0.4, 0.3, 0.1]
+        # Index 0 and 1 tie at a's maximum; only index 0 leads in b.
+        assert rank_agreement(a, b, top_k=1) == pytest.approx(0.5)
+        # Without ties the score reduces to the plain |top_a & top_b| / k.
+        assert rank_agreement([4, 3, 2, 1], [4, 3, 1, 2], top_k=2) == 1.0
+
+    def test_rank_agreement_permutation_invariance(self):
+        import random
+
+        rng = random.Random(7)
+        a = [0.3, 0.3, 0.9, 0.9, 0.1, 0.3]
+        b = [0.9, 0.3, 0.3, 0.9, 0.3, 0.1]
+        baseline = rank_agreement(a, b, top_k=2)
+        indices = list(range(len(a)))
+        for _ in range(10):
+            rng.shuffle(indices)
+            assert rank_agreement(
+                [a[i] for i in indices], [b[i] for i in indices], top_k=2
+            ) == pytest.approx(baseline)
+
     @given(
         weights=st.lists(st.floats(0.01, 10.0), min_size=2, max_size=16),
     )
