@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
 
@@ -79,6 +81,17 @@ class IdleWindow:
         return max(0.0, min(self.end, end) - max(self.start, start))
 
 
+def _merge_spans(spans: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Sort ``(start, end)`` spans and merge overlapping/adjacent ones."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1] + 1e-9:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 class GateSequenceTable:
     """Timestamped schedule of a compiled circuit.
 
@@ -102,6 +115,7 @@ class GateSequenceTable:
         self._duration_model = duration_model
         self._method = method
         self._scheduled: List[ScheduledGate] = []
+        self._cnot_index: Optional[Tuple[np.ndarray, ...]] = None
         self._schedule()
 
     # ------------------------------------------------------------------
@@ -182,16 +196,9 @@ class GateSequenceTable:
 
     def busy_intervals(self, qubit: int) -> List[Tuple[float, float]]:
         """Merged intervals during which a qubit performs an operation."""
-        raw = sorted(
-            (s.start, s.end) for s in self._scheduled if qubit in s.qubits
+        return _merge_spans(
+            [(s.start, s.end) for s in self._scheduled if qubit in s.qubits]
         )
-        merged: List[Tuple[float, float]] = []
-        for start, end in raw:
-            if merged and start <= merged[-1][1] + 1e-9:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-            else:
-                merged.append((start, end))
-        return merged
 
     def idle_windows(
         self, qubit: Optional[int] = None, min_duration: float = 0.0
@@ -202,11 +209,22 @@ class GateSequenceTable:
         initialise qubits as late as possible, and a qubit parked in |0> does
         not decohere, so DD there is pointless (Section 2.4's late
         initialisation discussion).
+
+        The all-qubits form groups the schedule per qubit in a single pass —
+        one per-qubit ``busy_intervals`` scan each would make device-scale
+        compilation O(qubits × gates).
         """
-        qubits = [qubit] if qubit is not None else self.active_qubits()
+        if qubit is not None:
+            intervals_of = {qubit: self.busy_intervals(qubit)}
+        else:
+            spans: Dict[int, List[Tuple[float, float]]] = {}
+            for s in self._scheduled:
+                span = (s.start, s.end)
+                for q in s.qubits:
+                    spans.setdefault(q, []).append(span)
+            intervals_of = {q: _merge_spans(spans[q]) for q in sorted(spans)}
         windows: List[IdleWindow] = []
-        for q in qubits:
-            intervals = self.busy_intervals(q)
+        for q, intervals in intervals_of.items():
             for (a_start, a_end), (b_start, b_end) in zip(intervals, intervals[1:]):
                 gap = b_start - a_end
                 if gap > max(min_duration, 1e-9):
@@ -238,11 +256,21 @@ class GateSequenceTable:
         return sum(w.duration for w in self.idle_windows(qubit))
 
     def average_idle_time(self) -> float:
-        """Average idle time per active qubit (the Table 4 column), in ns."""
+        """Average idle time per active qubit (the Table 4 column), in ns.
+
+        Computed from one all-qubits ``idle_windows`` pass, accumulated per
+        qubit in window-start order and summed over qubits in sorted order —
+        the identical floating-point operations, in the identical order, as
+        the per-qubit ``total_idle_time`` loop it replaces, without that
+        loop's O(qubits × gates) rescan of the schedule.
+        """
         qubits = self.active_qubits()
         if not qubits:
             return 0.0
-        return sum(self.total_idle_time(q) for q in qubits) / len(qubits)
+        totals = {q: 0.0 for q in qubits}
+        for window in self.idle_windows():
+            totals[window.qubit] += window.duration
+        return sum(totals[q] for q in qubits) / len(qubits)
 
     def concurrent_cnots(
         self, start: float, end: float, exclude_qubit: Optional[int] = None
@@ -251,17 +279,46 @@ class GateSequenceTable:
 
         Used by the noise model to amplify a spectator qubit's idling errors
         while two-qubit gates run in its vicinity.
+
+        Called once per idle window when a program is compiled, so a naive
+        scan over every scheduled gate makes compilation O(windows × gates) —
+        minutes at 255+ qubits.  Instead the CNOT subschedule is indexed once,
+        sorted by start time; a query bisects to the only slice that can
+        overlap ``[start, end]`` (a CNOT starting before ``start - max_dur``
+        has necessarily ended, one starting at/after ``end`` has not begun)
+        and evaluates just that slice.  The sort is stable, so iterating the
+        slice preserves schedule order, which keeps the floating-point
+        summation order — and therefore the exact result — of the original
+        scan; CNOTs the slice bounds drop all have overlap ≤ 0 and never
+        contributed.
         """
+        if self._cnot_index is None:
+            cnots = [s for s in self._scheduled if s.is_cnot]
+            starts = np.array([s.start for s in cnots], dtype=float)
+            order = np.argsort(starts, kind="stable")
+            self._cnot_index = (
+                starts[order],
+                np.array([s.end for s in cnots], dtype=float)[order],
+                np.array([s.qubits[0] for s in cnots], dtype=np.int64)[order],
+                np.array([s.qubits[1] for s in cnots], dtype=np.int64)[order],
+                [cnots[i].link for i in order],
+                float(max((s.duration for s in cnots), default=0.0)),
+            )
+        starts, ends, qubit_a, qubit_b, links, max_duration = self._cnot_index
+        if not len(links):
+            return []
+        lo = int(np.searchsorted(starts, start - max_duration, side="left"))
+        hi = int(np.searchsorted(starts, end, side="left"))
+        if lo >= hi:
+            return []
+        overlaps = np.minimum(ends[lo:hi], end) - np.maximum(starts[lo:hi], start)
+        hits = overlaps > 1e-9
+        if exclude_qubit is not None:
+            hits &= (qubit_a[lo:hi] != exclude_qubit) & (qubit_b[lo:hi] != exclude_qubit)
         active: Dict[Tuple[int, int], float] = {}
-        for s in self._scheduled:
-            if not s.is_cnot:
-                continue
-            if exclude_qubit is not None and exclude_qubit in s.qubits:
-                continue
-            overlap = s.overlap(start, end)
-            if overlap > 1e-9:
-                link = s.link
-                active[link] = active.get(link, 0.0) + overlap
+        for i in np.nonzero(hits)[0]:
+            link = links[lo + i]
+            active[link] = active.get(link, 0.0) + float(overlaps[i])
         return sorted(active.items())
 
     def gates_on_qubit(self, qubit: int) -> List[ScheduledGate]:

@@ -8,8 +8,9 @@ device-scale ``stabilizer_frames`` path).
 
 from .statevector import SimulationError, StatevectorSimulator
 from .density_matrix import DensityMatrixSimulator
-from .stabilizer import CliffordTableau, StabilizerSimulator
+from .stabilizer import CliffordTableau, PackedCliffordTableau, StabilizerSimulator
 from .extended_stabilizer import ExtendedStabilizerSimulator, SimulationReport
+from . import symplectic
 from .engines import (
     ExecutionEngine,
     SparseDistribution,
@@ -26,6 +27,7 @@ __all__ = [
     "ExecutionEngine",
     "ExtendedStabilizerSimulator",
     "SimulationError",
+    "PackedCliffordTableau",
     "SimulationReport",
     "SparseDistribution",
     "StabilizerSimulator",
@@ -35,4 +37,5 @@ __all__ = [
     "get_engine",
     "register_engine",
     "select_engine",
+    "symplectic",
 ]

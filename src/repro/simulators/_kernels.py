@@ -1,0 +1,128 @@
+"""Optional compiled hot kernels for the packed symplectic engines.
+
+The packed stabilizer kernels (:mod:`repro.simulators.symplectic`) are plain
+numpy bitwise operations on ``uint64`` words; that is already fast enough for
+the nightly scaling gates.  Where a JIT is available, the two loops that
+numpy cannot fuse — the per-trajectory XOR-gather over stacked event masks
+and the SWAR popcount on older numpy — are compiled through numba.
+
+Availability is a *feature flag*, never a requirement:
+
+* numba missing (the default container has none) → pure-numpy fallbacks, no
+  warning, no behaviour change;
+* ``REPRO_NUMBA=0`` → numba is ignored even when importable (the kill switch
+  for debugging JIT-related differences);
+* outputs are bit-identical by construction — the kernels compute the same
+  words, so nothing downstream (store keys, ``SCHEMA_VERSION``, payloads)
+  can observe which implementation ran.
+
+The registered engines consult :data:`HAVE_NUMBA` through these wrappers;
+there is no separate engine name for the compiled path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "popcount64",
+    "xor_gather_reduce",
+]
+
+
+def _numba_enabled() -> bool:
+    if os.environ.get("REPRO_NUMBA", "") == "0":
+        return False
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+#: True when the numba JIT path is importable and not disabled by
+#: ``REPRO_NUMBA=0``; evaluated once at import.
+HAVE_NUMBA: bool = _numba_enabled()
+
+
+# ---------------------------------------------------------------------------
+# popcount
+# ---------------------------------------------------------------------------
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount64(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a ``uint64`` array (numpy >= 2.0)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+
+    def popcount64(words: np.ndarray) -> np.ndarray:
+        """SWAR popcount of a ``uint64`` array (pre-``bitwise_count`` numpy)."""
+        v = words.astype(np.uint64, copy=True)
+        v -= (v >> np.uint64(1)) & _M1
+        v = (v & _M2) + ((v >> np.uint64(2)) & _M2)
+        v = (v + (v >> np.uint64(4))) & _M4
+        return ((v * _H01) >> np.uint64(56)).astype(np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# XOR-gather over stacked event masks (the frame-accumulation hot loop)
+# ---------------------------------------------------------------------------
+
+#: Event-axis chunk of the numpy fallback: bounds the transient gather to
+#: ``trajectories * CHUNK * words * 8`` bytes regardless of event count.
+_XOR_CHUNK_EVENTS = 512
+
+
+def _xor_gather_reduce_numpy(masks: np.ndarray, chosen: np.ndarray) -> np.ndarray:
+    T, E = chosen.shape
+    W = masks.shape[2]
+    out = np.zeros((T, W), dtype=np.uint64)
+    for start in range(0, E, _XOR_CHUNK_EVENTS):
+        stop = min(E, start + _XOR_CHUNK_EVENTS)
+        picked = masks[np.arange(start, stop)[None, :], chosen[:, start:stop]]
+        out ^= np.bitwise_xor.reduce(picked, axis=1)
+    return out
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    @njit(cache=False)
+    def _xor_gather_reduce_jit(masks, chosen):
+        T, E = chosen.shape
+        W = masks.shape[2]
+        out = np.zeros((T, W), dtype=np.uint64)
+        for t in range(T):
+            for e in range(E):
+                row = masks[e, chosen[t, e]]
+                for w in range(W):
+                    out[t, w] ^= row[w]
+        return out
+
+    def xor_gather_reduce(masks: np.ndarray, chosen: np.ndarray) -> np.ndarray:
+        """XOR of ``masks[e, chosen[t, e]]`` over events, per trajectory."""
+        return _xor_gather_reduce_jit(
+            np.ascontiguousarray(masks), np.ascontiguousarray(chosen)
+        )
+
+else:
+
+    def xor_gather_reduce(masks: np.ndarray, chosen: np.ndarray) -> np.ndarray:
+        """XOR of ``masks[e, chosen[t, e]]`` over events, per trajectory.
+
+        ``masks`` is ``(events, branches, words)`` uint64, ``chosen`` is
+        ``(trajectories, events)`` branch indices; returns the accumulated
+        ``(trajectories, words)`` flip words.  Pure-numpy chunked fallback —
+        the numba build replaces it with a fused loop.
+        """
+        return _xor_gather_reduce_numpy(masks, chosen)

@@ -18,7 +18,8 @@ The channel set mirrors what the ADAPT evaluation needs:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -71,13 +72,16 @@ def depolarizing(p: float) -> List[np.ndarray]:
     ]
 
 
-def depolarizing_two_qubit(p: float) -> List[np.ndarray]:
-    """Two-qubit depolarizing channel with error probability ``p``.
+@lru_cache(maxsize=4096)
+def _depolarizing_two_qubit_kraus(p: float) -> Tuple[np.ndarray, ...]:
+    """The 16 Kraus matrices for one error probability, built once.
 
-    With probability ``p`` one of the 15 non-identity two-qubit Paulis is
-    applied uniformly at random.  Used for CNOT gate errors.
+    A device has one two-qubit error rate per *link* but the compiler asks
+    for the channel once per scheduled CNOT, so at device scale the same
+    handful of probabilities would otherwise rebuild the same 16 ``np.kron``
+    products tens of thousands of times — the single largest compile cost of
+    a 255-qubit program before this cache.
     """
-    p = _check_probability(p, "depolarizing probability")
     i = np.eye(2, dtype=complex)
     x = np.array([[0, 1], [1, 0]], dtype=complex)
     y = np.array([[0, -1j], [1j, 0]], dtype=complex)
@@ -88,7 +92,18 @@ def depolarizing_two_qubit(p: float) -> List[np.ndarray]:
         for b_idx, b in enumerate(paulis):
             weight = 1 - p if (a_idx, b_idx) == (0, 0) else p / 15
             kraus.append(math.sqrt(weight) * np.kron(a, b))
-    return kraus
+    return tuple(kraus)
+
+
+def depolarizing_two_qubit(p: float) -> List[np.ndarray]:
+    """Two-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` one of the 15 non-identity two-qubit Paulis is
+    applied uniformly at random.  Used for CNOT gate errors.  Callers own
+    the returned matrices (they are fresh copies of a memoized build).
+    """
+    p = _check_probability(p, "depolarizing probability")
+    return [k.copy() for k in _depolarizing_two_qubit_kraus(p)]
 
 
 def bit_flip(p: float) -> List[np.ndarray]:

@@ -28,9 +28,15 @@ Four engines are registered by default:
 * ``"stabilizer_frames"`` — the *device-scale* Clifford path: the same
   Pauli-twirled model, but the exact 2^n convolution is replaced by seeded
   Pauli-*frame* sampling (one twirled branch per event per trajectory,
-  XOR-propagated in O(n) bits), and the result is a **sparse** output-space
-  distribution.  Memory scales with ``trajectories * qubits`` instead of
-  2^n, which is what lets a 127-qubit mirror workload execute in seconds.
+  XOR-propagated on bit-packed words), and the result is a **sparse**
+  output-space distribution.  Memory scales with
+  ``trajectories * ceil(qubits / 64)`` uint64 words instead of 2^n, which is
+  what lets a 127-qubit mirror workload execute in milliseconds.
+
+Both Clifford engines run on the bit-packed symplectic kernels of
+:mod:`repro.simulators.symplectic` by default; ``REPRO_PURE_KERNELS=1``
+switches them back to the original boolean-row code path, which is kept as
+the differential-testing oracle.  Outputs are bit-identical either way.
 
 Engine selection policy lives here too (:func:`select_engine`): ``"auto"``
 picks the stabilizer fast path for Clifford-only programs, the dense density
@@ -49,6 +55,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
+from . import symplectic
 from .stabilizer import StabilizerSimulator
 from .statevector import SimulationError
 
@@ -715,7 +722,15 @@ class StabilizerEngine(ExecutionEngine):
 
     @staticmethod
     def _pack_masks(xparts: np.ndarray, n: int) -> np.ndarray:
-        """X-mask rows packed into integers (qubit position 0 = MSB)."""
+        """X-mask rows packed into integers (qubit position 0 = MSB).
+
+        This is the dense engine's output boundary: mask rows arriving as
+        packed symplectic words (qubit 0 = LSB of word 0) are unpacked here
+        before re-encoding into the MSB-first indices the 2^n spectrum uses.
+        The engine only runs at small n, so the conversion is negligible.
+        """
+        if xparts.dtype == np.uint64:
+            xparts = symplectic.unpack_rows(xparts, n)
         weights = (1 << np.arange(n - 1, -1, -1)).astype(np.uint64)
         return (xparts.astype(np.uint64) @ weights).astype(np.uint64)
 
@@ -769,21 +784,33 @@ class StabilizerEngine(ExecutionEngine):
 def _noise_mask_table(program) -> Dict[str, object]:
     """Template-ordered twirled noise events with end-propagated X-masks.
 
-    One forward pass over the compiled template: every shared gate-noise op
-    is Pauli-twirled and its branches propagated through the *subsequent*
-    Clifford gates with vectorized symplectic column updates (phases are
-    irrelevant: only the final X-mask of an error changes computational-basis
-    probabilities).  Alongside the noise rows, a block of 2n Pauli *basis*
-    rows (X_q, Z_q) is seeded at every window slot: their propagated X-parts
-    form the window's suffix conjugation map, from which any variant's masks
-    are computed later without walking the template again.
+    Every shared gate-noise op is Pauli-twirled and its branches propagated
+    through the *subsequent* Clifford gates (phases are irrelevant: only the
+    final X-mask of an error changes computational-basis probabilities), and
+    every idle-window slot records its suffix conjugation map, from which
+    any variant's masks are computed later without walking the template
+    again.
 
     The table is the shared substrate of both Clifford engines — the dense
     ``stabilizer`` engine convolves the masks into 2^n spectra, the sparse
     ``stabilizer_frames`` engine samples them — and is built once per
-    compiled program (``engine_cache["stabilizer_masks"]``).
+    compiled program *and kernel mode*.  The pure path
+    (``REPRO_PURE_KERNELS=1``) is the original forward pass: it seeds 2n
+    boolean basis rows at every window slot and pushes the whole block
+    through each gate, which is transparent but O(gates × rows).  The packed
+    path (:func:`symplectic.use_packed_kernels`) instead walks the template
+    *backward*, composing one ``(n, W)``-word suffix map a gate at a time
+    (:func:`symplectic.compose_suffix_packed`) and reading each event's
+    masks straight out of the map — O(gates × W) row operations, which is
+    what keeps the mask-table build sub-second at 255 and 1023 qubits where
+    the forward pass spends minutes.  The two builds produce bit-identical
+    mask content (GF(2) linearity; XOR order cannot matter) and are cached
+    under distinct ``engine_cache`` keys so flipping ``REPRO_PURE_KERNELS``
+    mid-process can never serve a stale representation.
     """
-    cached = program.engine_cache.get("stabilizer_masks")
+    packed = symplectic.use_packed_kernels()
+    cache_key = "stabilizer_masks:packed" if packed else "stabilizer_masks:pure"
+    cached = program.engine_cache.get(cache_key)
     if cached is not None:
         return cached
     n = program.num_active
@@ -796,6 +823,87 @@ def _noise_mask_table(program) -> Dict[str, object]:
         else:
             events.append((tidx, ("window", payload), None, ()))
 
+    if packed:
+        results = _packed_mask_results(program, events, n)
+    else:
+        results = _pure_mask_results(program, events, n)
+
+    sequence: List[Tuple] = []
+    suffix_maps: Dict[int, object] = {}
+    shared_flip_free = 1.0
+    for item in results:  # template order, so the float product order is fixed
+        if item[0] == "window":
+            _, widx, maps = item
+            suffix_maps[widx] = maps
+            sequence.append(("window", widx))
+        else:
+            _, probs, masks = item
+            sequence.append(("noise", probs, masks))
+            shared_flip_free *= _flip_free_weight(probs, masks)
+
+    table = {
+        "sequence": sequence,
+        "suffix_maps": suffix_maps,
+        "shared_flip_free": shared_flip_free,
+        "packed": packed,
+    }
+    program.engine_cache[cache_key] = table
+    return table
+
+
+def _packed_mask_results(program, events, n: int) -> List[Tuple]:
+    """Backward suffix-composition build of the mask table (packed words).
+
+    One reverse walk over the template maintains the x-parts of the images
+    of every ``X_q``/``Z_q`` under the gates *after* the current position.
+    Reaching a noise event, its branch masks are a GF(2) combination of the
+    map rows at the event's positions; reaching a window slot, the two map
+    rows of the window's own qubit (idle-window ops never touch any other)
+    are snapshotted as ``{position: row}`` dicts — 2 rows per window instead
+    of the forward pass's 2n, which is the difference between megabytes and
+    gigabytes at 1023 qubits.
+    """
+    W = symplectic.num_words(max(n, 1))
+    x_of_x = symplectic.pack_rows(np.eye(n, dtype=bool), n)  # images of X_q
+    x_of_z = np.zeros((n, W), dtype=np.uint64)               # images of Z_q
+    zero = np.uint64(0)
+    event_index = {tidx: i for i, (tidx, _, _, _) in enumerate(events)}
+    results: List[Optional[Tuple]] = [None] * len(events)
+    for tidx in range(len(program.template) - 1, -1, -1):
+        kind, payload = program.template[tidx]
+        if kind == "op" and payload.gate is not None:
+            symplectic.compose_suffix_packed(
+                x_of_x, x_of_z, payload.gate.name, payload.positions, payload.gate.params
+            )
+            continue
+        _, tag, twirl, positions = events[event_index[tidx]]
+        if twirl is None:
+            widx = tag[1]
+            p = program.index_of[program.windows[widx].qubit]
+            maps = ({p: x_of_x[p].copy()}, {p: x_of_z[p].copy()})
+            results[event_index[tidx]] = ("window", widx, maps)
+        else:
+            probs, xbits, zbits = twirl
+            final_x = np.zeros((xbits.shape[0], W), dtype=np.uint64)
+            for column, position in enumerate(positions):
+                final_x ^= np.where(
+                    xbits[:, column][:, None], x_of_x[position][None, :], zero
+                )
+                final_x ^= np.where(
+                    zbits[:, column][:, None], x_of_z[position][None, :], zero
+                )
+            results[event_index[tidx]] = ("noise", probs, final_x)
+    return results
+
+
+def _pure_mask_results(program, events, n: int) -> List[Tuple]:
+    """Forward row-propagation build of the mask table (boolean rows).
+
+    The original oracle implementation: seed each event's rows when its
+    template slot is reached, push every seeded row through each subsequent
+    gate's column update.  Kept verbatim behind ``REPRO_PURE_KERNELS=1`` as
+    the differential-testing reference for the backward packed build.
+    """
     identity = np.eye(n, dtype=bool)
     basis_x = np.vstack([identity, np.zeros((n, n), dtype=bool)])  # X_q then Z_q
     basis_z = np.vstack([np.zeros((n, n), dtype=bool), identity])
@@ -830,33 +938,26 @@ def _noise_mask_table(program) -> Dict[str, object]:
         if kind == "op" and payload.gate is not None:
             StabilizerEngine._propagate_gate(payload, xparts[:cursor], zparts[:cursor])
 
-    sequence: List[Tuple] = []
-    suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-    shared_flip_free = 1.0
+    results: List[Tuple] = []
     for tag, start, stop, probs in spans:
         if probs is None:
-            widx = tag[1]
-            suffix_maps[widx] = (
+            maps = (
                 xparts[start : start + n].copy(),      # x-parts of images of X_q
                 xparts[start + n : stop].copy(),       # x-parts of images of Z_q
             )
-            sequence.append(("window", widx))
+            results.append(("window", tag[1], maps))
         else:
-            masks = xparts[start:stop].copy()
-            sequence.append(("noise", probs, masks))
-            shared_flip_free *= _flip_free_weight(probs, masks)
-
-    table = {
-        "sequence": sequence,
-        "suffix_maps": suffix_maps,
-        "shared_flip_free": shared_flip_free,
-    }
-    program.engine_cache["stabilizer_masks"] = table
-    return table
+            results.append(("noise", probs, xparts[start:stop].copy()))
+    return results
 
 
 def _flip_free_weight(probs: np.ndarray, masks: np.ndarray) -> float:
-    """Probability that one twirled event contributes no X-flip at all."""
+    """Probability that one twirled event contributes no X-flip at all.
+
+    Representation-agnostic: a row of the mask block is flip-free exactly
+    when every entry is falsy, whether the entries are per-qubit booleans or
+    packed uint64 words.
+    """
     zero_rows = ~masks.any(axis=1)
     return float(probs[zero_rows].sum())
 
@@ -864,20 +965,39 @@ def _flip_free_weight(probs: np.ndarray, masks: np.ndarray) -> float:
 def _variant_mask_events(
     program, suffix_maps: Dict[int, Tuple[np.ndarray, np.ndarray]], widx: int, variant: object
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """``(probs, end-propagated X-masks)`` of one (window, variant)'s ops."""
+    """``(probs, end-propagated X-masks)`` of one (window, variant)'s ops.
+
+    The masks come back in whatever representation the suffix maps carry —
+    packed uint64 words from a packed table (``{position: row}`` dicts
+    holding just the window qubit's rows), boolean row matrices from a pure
+    one — so callers never branch on the kernel mode themselves.
+    """
     ops = program.window_ops(widx, variant)
     if not ops:
         return []
     n = program.num_active
     x_of_x, x_of_z = suffix_maps[widx]
+    packed = isinstance(x_of_x, dict)
     events: List[Tuple[np.ndarray, np.ndarray]] = []
     for op in ops:
         probs, xbits, zbits = StabilizerEngine._twirl(op)
         rows = xbits.shape[0]
-        final_x = np.zeros((rows, n), dtype=bool)
-        for column, position in enumerate(op.positions):
-            final_x ^= xbits[:, column][:, None] & x_of_x[position][None, :]
-            final_x ^= zbits[:, column][:, None] & x_of_z[position][None, :]
+        if packed:
+            zero = np.uint64(0)
+            words = len(next(iter(x_of_x.values())))
+            final_x = np.zeros((rows, words), dtype=np.uint64)
+            for column, position in enumerate(op.positions):
+                final_x ^= np.where(
+                    xbits[:, column][:, None], x_of_x[position][None, :], zero
+                )
+                final_x ^= np.where(
+                    zbits[:, column][:, None], x_of_z[position][None, :], zero
+                )
+        else:
+            final_x = np.zeros((rows, n), dtype=bool)
+            for column, position in enumerate(op.positions):
+                final_x ^= xbits[:, column][:, None] & x_of_x[position][None, :]
+                final_x ^= zbits[:, column][:, None] & x_of_z[position][None, :]
         events.append((probs, final_x))
     return events
 
@@ -902,11 +1022,23 @@ class StabilizerFrameEngine(ExecutionEngine):
     :class:`SparseDistribution` over the *output* bits.
 
     This is the engine that makes the device-scale mirror workloads
-    executable: state is ``trajectories × n`` bits, so the 127-qubit points
-    of the hardware-scaling study run in seconds.  Within the twirled model
-    the estimate is unbiased; precision scales as ``1/sqrt(trajectories)``,
-    and seeded runs are deterministic and batch-invariant (per-trajectory
-    streams follow the same protocol as the trajectory engine).
+    executable: the frame state is ``trajectories × ceil(n/64)`` packed
+    uint64 words, so the 127-qubit points of the hardware-scaling study run
+    in milliseconds.  Within the twirled model the estimate is unbiased;
+    precision scales as ``1/sqrt(trajectories)``, and seeded runs are
+    deterministic and batch-invariant (per-trajectory streams follow the
+    same protocol as the trajectory engine).
+
+    Two implementations share this class: the default packed path stacks
+    every applied event into one ``(events, branches)`` cumulative matrix
+    plus an ``(events, branches, words)`` mask tensor, draws each
+    trajectory's whole uniform stream in one call, selects all branches in
+    one vectorized comparison, and folds the frame XOR through
+    :func:`repro.simulators.symplectic.xor_gather_reduce`; the original
+    per-event boolean loop survives behind ``REPRO_PURE_KERNELS=1`` as the
+    differential oracle.  Both consume the per-trajectory streams in the
+    same order, so counts, ``flip_free_probability`` and every
+    :class:`SparseDistribution` payload are bit-identical between them.
     """
 
     name = "stabilizer_frames"
@@ -916,7 +1048,8 @@ class StabilizerFrameEngine(ExecutionEngine):
         return bool(getattr(program, "is_clifford", False))
 
     def state_bytes(self, num_active: int, trajectories: int) -> int:
-        return max(1, num_active * max(1, trajectories))
+        words = symplectic.num_words(max(1, num_active))
+        return max(1, 8 * words * max(1, trajectories))
 
     # -- public entry --------------------------------------------------
 
@@ -926,6 +1059,8 @@ class StabilizerFrameEngine(ExecutionEngine):
                 "the stabilizer_frames engine requires a Clifford-only compiled"
                 " program; use engine='auto', 'density_matrix' or 'trajectories'"
             )
+        if symplectic.use_packed_kernels():
+            return self._run_packed(program, jobs, stats)
         n = program.num_active
         table = _noise_mask_table(program)
         base, basis = self._ideal_structure(program)
@@ -1033,6 +1168,239 @@ class StabilizerFrameEngine(ExecutionEngine):
         if stats is not None:
             stats["window_variants"] = stats.get("window_variants", 0) + len(used_variants)
         return results
+
+    # -- packed fast path ----------------------------------------------
+
+    def _run_packed(self, program, jobs, stats=None):
+        """Frame sampling on the packed symplectic kernels.
+
+        The per-event/per-trajectory python loops of the pure path collapse
+        into four vectorized passes per job: one ``Generator.random(size=E)``
+        call per trajectory (a numpy Generator produces the identical stream
+        whether drawn singly or in blocks, so consumption matches the pure
+        loop draw for draw), one broadcast comparison against the stacked
+        cumulative matrix to choose every branch at once, one XOR-gather over
+        the stacked ``(events, branches, words)`` mask tensor, and one
+        block-draw readout pass.  Unpacking happens only at the output
+        boundary, bit column by bit column.
+        """
+        n = program.num_active
+        W = symplectic.num_words(max(1, n))
+        table = _noise_mask_table(program)
+        base, basis = self._ideal_structure(program)
+        base_words = symplectic.pack_rows(base, n)
+        basis_words = symplectic.pack_rows(basis, n) if basis.shape[0] else None
+        stack_cache: Dict[Tuple[object, ...], Dict[str, object]] = (
+            program.engine_cache.setdefault("stabilizer_frame_stacks", {})
+        )
+        survival_cache: Dict[Tuple[int, ...], Optional[float]] = (
+            program.engine_cache.setdefault("stabilizer_frame_survival", {})
+        )
+        readout = self._readout_rates(program)
+        used_variants: set = set()
+        results = []
+        for job in jobs:
+            streams = job.streams
+            T = len(streams)
+            key = tuple(job.variants)
+            stack = stack_cache.get(key)
+            if stack is None:
+                stack = self._variant_stack(program, table, job.variants)
+                stack_cache[key] = stack
+            used_variants.update(stack["used"])
+
+            counts: np.ndarray = stack["counts"]
+            E = counts.shape[0]
+            if E:
+                draws = np.empty((T, E), dtype=float)
+                for t, stream in enumerate(streams):
+                    draws[t] = stream.random(size=E)
+                flips = self._sample_flips(stack, draws)
+            else:
+                flips = np.zeros((T, W), dtype=np.uint64)
+
+            if basis_words is not None:
+                k = basis.shape[0]
+                free_bits = np.empty((T, k), dtype=np.uint8)
+                for t, stream in enumerate(streams):
+                    free_bits[t] = stream.integers(0, 2, size=k)
+                for row in range(k):
+                    flips[free_bits[:, row].astype(bool)] ^= basis_words[row]
+            outcomes = base_words[None, :] ^ flips
+
+            positions = job.outputs if job.outputs is not None else tuple(range(n))
+            out_bits = np.empty((T, len(positions)), dtype=bool)
+            for column, position in enumerate(positions):
+                out_bits[:, column] = symplectic.bit_column(outcomes, position)
+            noisy = [
+                (column, readout[position])
+                for column, position in enumerate(positions)
+                if readout[position][0] > 0.0 or readout[position][1] > 0.0
+            ]
+            if noisy:
+                rdraws = np.empty((T, len(noisy)), dtype=float)
+                for t, stream in enumerate(streams):
+                    rdraws[t] = stream.random(size=len(noisy))
+                for j, (column, (p01, p10)) in enumerate(noisy):
+                    flip = np.where(
+                        out_bits[:, column], rdraws[:, j] < p10, rdraws[:, j] < p01
+                    )
+                    out_bits[:, column] ^= flip
+
+            if positions not in survival_cache:
+                survival_cache[positions] = self._readout_survival(
+                    base, basis, positions, readout
+                )
+            survival = survival_cache[positions]
+
+            weight = 1.0 / T
+            probabilities: Dict[str, float] = {}
+            # One ascii render of the whole (T, P) bit block; slicing it per
+            # trajectory yields the same strings (and the same accumulation
+            # order) as the pure path's per-row joins.
+            P = out_bits.shape[1]
+            text = (out_bits.astype(np.uint8) + np.uint8(48)).tobytes().decode("ascii")
+            for t in range(T):
+                bits = text[t * P : (t + 1) * P]
+                probabilities[bits] = probabilities.get(bits, 0.0) + weight
+            flip_free = stack["flip_free"]
+            results.append(
+                SparseDistribution(
+                    probabilities=probabilities,
+                    num_bits=len(positions),
+                    readout_applied=True,
+                    metadata=(
+                        {}
+                        if survival is None
+                        else {"flip_free_probability": flip_free * survival}
+                    ),
+                )
+            )
+        if stats is not None:
+            stats["window_variants"] = stats.get("window_variants", 0) + len(used_variants)
+        return results
+
+    #: When more than this fraction of all (trajectory, event) draws leave
+    #: the first branch, the sparse scatter-XOR stops winning and the dense
+    #: gather kernel (numba-compiled where available) takes over.  The
+    #: threshold only picks an implementation — both compute identical flips.
+    _DENSE_GATHER_FRACTION = 0.05
+
+    @staticmethod
+    def _sample_flips(stack: Dict[str, object], draws: np.ndarray) -> np.ndarray:
+        """Select every trajectory's branch per event and XOR the frame masks.
+
+        Branch selection is one ``searchsorted`` into the offset-flattened
+        cumulative matrix (event ``e``'s block shifted by ``2e``, so a draw
+        ``u + 2e`` lands inside its own block and the result minus ``e * B``
+        is exactly the pure loop's ``searchsorted(cum, u, side="right")``
+        clipped to the branch count).  Because realistic noise leaves almost
+        every draw on the first branch, the XOR is computed as a precomputed
+        first-branch baseline plus a scatter of the rare off-baseline deltas;
+        when the off-baseline fraction is high the dense
+        :func:`repro.simulators.symplectic.xor_gather_reduce` path runs
+        instead.
+        """
+        T, E = draws.shape
+        masks: np.ndarray = stack["masks"]
+        clip: np.ndarray = stack["clip"]
+        hot = draws >= stack["cum0"][None, :]
+        t_idx, e_idx = np.nonzero(hot)
+        if t_idx.size > T * E * StabilizerFrameEngine._DENSE_GATHER_FRACTION:
+            flat = draws + stack["event_offset"][None, :]
+            chosen = np.searchsorted(stack["flat_cum"], flat.ravel(), side="right")
+            chosen = chosen.reshape(T, E) - stack["index_offset"][None, :]
+            chosen = np.minimum(chosen, clip[None, :])
+            return symplectic.xor_gather_reduce(masks, chosen)
+        out = np.broadcast_to(stack["base_xor"], (T, masks.shape[2])).copy()
+        if t_idx.size:
+            u = draws[t_idx, e_idx] + stack["event_offset"][e_idx]
+            choice = (
+                np.searchsorted(stack["flat_cum"], u, side="right")
+                - stack["index_offset"][e_idx]
+            )
+            choice = np.minimum(choice, clip[e_idx])
+            delta = masks[e_idx, choice] ^ masks[e_idx, 0]
+            np.bitwise_xor.at(out, t_idx, delta)
+        return out
+
+    @staticmethod
+    def _variant_stack(program, table, variants) -> Dict[str, object]:
+        """Stack one variant-tuple's applied events into contiguous arrays.
+
+        Walks the table sequence exactly like the pure loop: pure-Z events
+        (no X-component in any branch) are dropped deterministically — they
+        never consume a draw on either path — and window flip-free weights
+        multiply into the running product in encounter order, so the float
+        result matches the pure path bit for bit.  Cached per variants tuple
+        in ``engine_cache["stabilizer_frame_stacks"]``; ragged branch counts
+        are padded with cumulative 2.0 / zero masks.
+        """
+        window_cache: Dict[
+            Tuple[int, object], Tuple[List[Tuple[np.ndarray, np.ndarray]], float]
+        ] = program.engine_cache.setdefault("stabilizer_frame_windows:packed", {})
+        applied: List[Tuple[np.ndarray, np.ndarray]] = []
+        flip_free = float(table["shared_flip_free"])
+        used: List[Tuple[int, object]] = []
+        for entry in table["sequence"]:
+            if entry[0] == "noise":
+                if entry[2].any():
+                    applied.append((np.cumsum(entry[1]), entry[2]))
+                continue
+            widx = entry[1]
+            variant = variants[widx]
+            if variant == "skip":
+                continue
+            key = (widx, variant)
+            cached = window_cache.get(key)
+            if cached is None:
+                events = _variant_mask_events(
+                    program, table["suffix_maps"], widx, variant
+                )
+                weight = 1.0
+                for probs, masks in events:
+                    weight *= _flip_free_weight(probs, masks)
+                cached = (events, weight)
+                window_cache[key] = cached
+            events, weight = cached
+            flip_free *= weight
+            if events:
+                used.append(key)
+            for probs, masks in events:
+                if masks.any():
+                    applied.append((np.cumsum(probs), masks))
+        E = len(applied)
+        W = symplectic.num_words(max(1, program.num_active))
+        B = max((c.shape[0] for c, _ in applied), default=1)
+        cum = np.full((E, B), 2.0, dtype=float)
+        masks_stack = np.zeros((E, B, W), dtype=np.uint64)
+        counts = np.empty(E, dtype=np.int64)
+        for e, (cumulative, masks) in enumerate(applied):
+            branches = cumulative.shape[0]
+            cum[e, :branches] = cumulative
+            masks_stack[e, :branches] = masks
+            counts[e] = branches
+        event_offset = 2.0 * np.arange(E, dtype=float)
+        return {
+            "cum": cum,
+            "counts": counts,
+            "clip": counts - 1,
+            "masks": masks_stack,
+            # _sample_flips precomputations: first-branch thresholds, the
+            # offset-flattened cumulative blocks, and the XOR of every
+            # event's first-branch mask (the all-draws-on-branch-0 baseline).
+            "cum0": cum[:, 0].copy(),
+            "flat_cum": (cum + event_offset[:, None]).ravel(),
+            "event_offset": event_offset,
+            "index_offset": np.arange(E, dtype=np.int64) * B,
+            "base_xor": (
+                np.bitwise_xor.reduce(masks_stack[:, 0, :], axis=0)
+                if E
+                else np.zeros(W, dtype=np.uint64)
+            ),
+            "flip_free": flip_free,
+            "used": used,
+        }
 
     # -- per-program structure -----------------------------------------
 

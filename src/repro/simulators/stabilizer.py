@@ -3,8 +3,20 @@
 Clifford Decoy Circuits are simulated on this engine (paper Insight #1:
 Clifford-only circuits are efficiently simulable on conventional computers).
 The implementation follows the tableau algorithm of Aaronson & Gottesman,
-"Improved simulation of stabilizer circuits" (2004), with numpy-vectorised row
-operations so 100+ qubit decoys remain fast.
+"Improved simulation of stabilizer circuits" (2004).
+
+Two tableau implementations share one interface:
+
+* :class:`CliffordTableau` — boolean rows, one column per qubit.  The *pure*
+  reference path: simple, obviously correct, kept as the differential-test
+  oracle and selected by ``REPRO_PURE_KERNELS=1``.
+* :class:`PackedCliffordTableau` — the default: x/z half-rows bit-packed
+  into ``uint64`` words (:mod:`repro.simulators.symplectic`), gates as
+  word-column updates across all ``2n`` rows at once, measurement collapse
+  as one vectorized rowsum and the phase accumulator as popcount
+  arithmetic.  Bit-identical to the pure tableau by construction
+  (``tests/test_symplectic_diff.py`` fuzzes the equivalence across the
+  64/128-bit word boundaries).
 
 Supported gates: every Clifford gate in the IR (``x, y, z, h, s, sdg, sx,
 sxdg, cx, cz, swap, id``) plus ``rz``/``u1`` at multiples of pi/2.
@@ -14,20 +26,32 @@ Measurements are computational-basis and terminal or mid-circuit.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import CLIFFORD_GATE_NAMES, Gate
+from . import symplectic
 from .statevector import SimulationError
 
 __all__ = [
     "StabilizerSimulator",
     "CliffordTableau",
+    "PackedCliffordTableau",
     "SUPPORTED_GATE_NAMES",
     "is_tableau_supported",
 ]
+
+#: Test-only hook invoked on every tableau copy (both implementations); the
+#: enumeration copy-budget regression counts through it.  Never set outside
+#: tests.
+_COPY_HOOK: Optional[Callable[[], None]] = None
+
+
+def _note_copy() -> None:
+    if _COPY_HOOK is not None:
+        _COPY_HOOK()
 
 #: Gate names this engine applies directly — exactly the named Clifford set
 #: of :mod:`repro.circuits.gates` (parametric rotations are handled by
@@ -77,6 +101,7 @@ class CliffordTableau:
             self.z[n + i, i] = True      # stabilizer i   = Z_i
 
     def copy(self) -> "CliffordTableau":
+        _note_copy()
         clone = CliffordTableau.__new__(CliffordTableau)
         clone.n = self.n
         clone.x = self.x.copy()
@@ -217,6 +242,184 @@ class CliffordTableau:
         return not bool(self.x[self.n :, a].any())
 
 
+class PackedCliffordTableau:
+    """The CHP tableau over bit-packed ``uint64`` half-rows.
+
+    Same interface and bit-identical behaviour as :class:`CliffordTableau`
+    (the differential harness enforces it), with ``ceil(n/64)`` words per
+    x/z half-row: qubit ``q`` lives at bit ``q % 64`` of word ``q // 64``.
+    Gates are one-or-two word-column updates across all ``2n`` rows;
+    measurement applies every rowsum of a collapse in one vectorized pass,
+    with phases reduced to popcount arithmetic
+    (:func:`repro.simulators.symplectic.phase_g_sum`).
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits <= 0:
+            raise SimulationError("need at least one qubit")
+        self.n = int(num_qubits)
+        n = self.n
+        self.num_words = symplectic.num_words(n)
+        self.xw = np.zeros((2 * n, self.num_words), dtype=np.uint64)
+        self.zw = np.zeros((2 * n, self.num_words), dtype=np.uint64)
+        self.r = np.zeros(2 * n, dtype=bool)
+        qubits = np.arange(n)
+        bits = (np.uint64(1) << (qubits.astype(np.uint64) % np.uint64(64)))
+        self.xw[qubits, qubits // 64] = bits          # destabilizer q = X_q
+        self.zw[n + qubits, qubits // 64] = bits      # stabilizer q   = Z_q
+
+    def copy(self) -> "PackedCliffordTableau":
+        _note_copy()
+        clone = PackedCliffordTableau.__new__(PackedCliffordTableau)
+        clone.n = self.n
+        clone.num_words = self.num_words
+        clone.xw = self.xw.copy()
+        clone.zw = self.zw.copy()
+        clone.r = self.r.copy()
+        return clone
+
+    # -- boundary converters (tests, debugging) -------------------------
+
+    @classmethod
+    def from_unpacked(cls, tableau: CliffordTableau) -> "PackedCliffordTableau":
+        clone = cls.__new__(cls)
+        clone.n = tableau.n
+        clone.num_words = symplectic.num_words(tableau.n)
+        clone.xw = symplectic.pack_rows(tableau.x, tableau.n)
+        clone.zw = symplectic.pack_rows(tableau.z, tableau.n)
+        clone.r = tableau.r.copy()
+        return clone
+
+    def to_unpacked(self) -> CliffordTableau:
+        clone = CliffordTableau.__new__(CliffordTableau)
+        clone.n = self.n
+        clone.x = symplectic.unpack_rows(self.xw, self.n)
+        clone.z = symplectic.unpack_rows(self.zw, self.n)
+        clone.r = self.r.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # Clifford generators (word-column updates, all rows at once)
+    # ------------------------------------------------------------------
+
+    def _column(self, a: int) -> Tuple[int, np.uint64]:
+        w, s = divmod(int(a), 64)
+        return w, np.uint64(1) << np.uint64(s)
+
+    def apply_h(self, a: int) -> None:
+        w, mask = self._column(a)
+        self.r ^= (self.xw[:, w] & self.zw[:, w] & mask) != 0
+        delta = (self.xw[:, w] ^ self.zw[:, w]) & mask
+        self.xw[:, w] ^= delta
+        self.zw[:, w] ^= delta
+
+    def apply_s(self, a: int) -> None:
+        w, mask = self._column(a)
+        self.r ^= (self.xw[:, w] & self.zw[:, w] & mask) != 0
+        self.zw[:, w] ^= self.xw[:, w] & mask
+
+    def apply_sdg(self, a: int) -> None:
+        # Sdg = S Z = S S S (same composition as the pure tableau)
+        self.apply_s(a)
+        self.apply_z(a)
+
+    def apply_x(self, a: int) -> None:
+        w, mask = self._column(a)
+        self.r ^= (self.zw[:, w] & mask) != 0
+
+    def apply_z(self, a: int) -> None:
+        w, mask = self._column(a)
+        self.r ^= (self.xw[:, w] & mask) != 0
+
+    def apply_y(self, a: int) -> None:
+        w, mask = self._column(a)
+        self.r ^= ((self.xw[:, w] ^ self.zw[:, w]) & mask) != 0
+
+    def apply_sx(self, a: int) -> None:
+        # SX = H S H (exactly, no extra phase)
+        self.apply_h(a)
+        self.apply_s(a)
+        self.apply_h(a)
+
+    def apply_sxdg(self, a: int) -> None:
+        self.apply_h(a)
+        self.apply_sdg(a)
+        self.apply_h(a)
+
+    def apply_cx(self, control: int, target: int) -> None:
+        wc, mc = self._column(control)
+        wt, mt = self._column(target)
+        sc = np.uint64(int(control) % 64)
+        st = np.uint64(int(target) % 64)
+        one = np.uint64(1)
+        xc = (self.xw[:, wc] >> sc) & one
+        zc = (self.zw[:, wc] >> sc) & one
+        xt = (self.xw[:, wt] >> st) & one
+        zt = (self.zw[:, wt] >> st) & one
+        self.r ^= (xc & zt & (xt ^ zc ^ one)) != 0
+        self.xw[:, wt] ^= xc << st
+        self.zw[:, wc] ^= zt << sc
+
+    def apply_cz(self, a: int, b: int) -> None:
+        self.apply_h(b)
+        self.apply_cx(a, b)
+        self.apply_h(b)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        self.apply_cx(a, b)
+        self.apply_cx(b, a)
+        self.apply_cx(a, b)
+
+    # ------------------------------------------------------------------
+    # Measurement (CHP algorithm, vectorized)
+    # ------------------------------------------------------------------
+
+    def measure(self, a: int, rng: np.random.Generator, forced: Optional[int] = None) -> int:
+        """Measure qubit ``a`` in the computational basis, collapsing the state.
+
+        Identical semantics (and RNG consumption) to
+        :meth:`CliffordTableau.measure`; all rowsums of a collapse are
+        applied in one pass.
+        """
+        n = self.n
+        w, mask = self._column(a)
+        has_x = (self.xw[:, w] & mask) != 0
+        stab_with_x = np.nonzero(has_x[n:])[0]
+        if stab_with_x.size > 0:
+            p = int(stab_with_x[0]) + n
+            rows = np.nonzero(has_x)[0]
+            rows = rows[rows != p]
+            if rows.size:
+                symplectic.rowsum_rows(self.xw, self.zw, self.r, rows, p)
+            self.xw[p - n] = self.xw[p]
+            self.zw[p - n] = self.zw[p]
+            self.r[p - n] = self.r[p]
+            self.xw[p] = 0
+            self.zw[p] = 0
+            self.zw[p, w] = mask
+            if forced is None:
+                outcome = int(rng.integers(0, 2))
+            else:
+                outcome = int(forced)
+            self.r[p] = bool(outcome)
+            return outcome
+        # deterministic outcome: fold the stabilizer rows matching the
+        # destabilizers that anticommute with Z_a (prefix-XOR phase kernel)
+        dest_rows = np.nonzero(has_x[:n])[0]
+        if dest_rows.size == 0:
+            return 0
+        rows = dest_rows + n
+        _, _, sign = symplectic.product_phase(
+            self.xw[rows], self.zw[rows], self.r[rows]
+        )
+        return int(sign)
+
+    def is_deterministic(self, a: int) -> bool:
+        """True if measuring qubit ``a`` would give a deterministic outcome."""
+        w, mask = self._column(a)
+        return not bool(((self.xw[self.n :, w] & mask) != 0).any())
+
+
 class StabilizerSimulator:
     """Circuit-level front-end over :class:`CliffordTableau`."""
 
@@ -232,10 +435,18 @@ class StabilizerSimulator:
 
     # ------------------------------------------------------------------
 
-    def run(self, circuit: QuantumCircuit, rng: Optional[np.random.Generator] = None) -> CliffordTableau:
-        """Apply every gate of a Clifford circuit and return the final tableau."""
+    def run(self, circuit: QuantumCircuit, rng: Optional[np.random.Generator] = None):
+        """Apply every gate of a Clifford circuit and return the final tableau.
+
+        Returns a :class:`PackedCliffordTableau` on the default packed-kernel
+        path, a :class:`CliffordTableau` under ``REPRO_PURE_KERNELS=1`` —
+        both expose the same interface and bit-identical behaviour.
+        """
         rng = rng or self._rng
-        tableau = CliffordTableau(circuit.num_qubits)
+        if symplectic.use_packed_kernels():
+            tableau = PackedCliffordTableau(circuit.num_qubits)
+        else:
+            tableau = CliffordTableau(circuit.num_qubits)
         for gate in circuit:
             if gate.is_barrier or gate.is_delay or gate.is_measurement:
                 continue
@@ -271,30 +482,40 @@ class StabilizerSimulator:
         an affine subspace; the distribution is enumerated by branching on each
         non-deterministic qubit measurement.  ``max_outcomes`` bounds the
         branching (the subspace of an n-qubit state has at most 2**n points).
+
+        Each recursion level owns its tableau: deterministic measurements
+        never collapse the state, so the shared prefix up to the first
+        non-deterministic qubit is measured in place with no copy at all, and
+        a branch point copies once (the 0-branch) while the 1-branch reuses
+        the level's own tableau.  A w-free-bit enumeration therefore costs
+        ``2^w - 1`` copies instead of one per branch edge.
         """
         base = self.run(circuit)
         n = circuit.num_qubits
         rng = np.random.default_rng(0)
         outcomes: Dict[str, float] = {}
 
-        def recurse(tableau: CliffordTableau, qubit: int, prefix: str, weight: float) -> None:
-            if len(outcomes) > max_outcomes:
-                raise SimulationError(
-                    "Clifford output support exceeds max_outcomes; sample counts instead"
-                )
-            if qubit == n:
-                outcomes[prefix] = outcomes.get(prefix, 0.0) + weight
-                return
-            if tableau.is_deterministic(qubit):
-                outcome = tableau.measure(qubit, rng)
-                recurse(tableau, qubit + 1, prefix + str(outcome), weight)
-            else:
-                for forced in (0, 1):
-                    branch = tableau.copy()
-                    branch.measure(qubit, rng, forced=forced)
-                    recurse(branch, qubit + 1, prefix + str(forced), weight / 2.0)
+        def recurse(tableau, qubit: int, prefix: str, weight: float) -> None:
+            while qubit < n:
+                if len(outcomes) > max_outcomes:
+                    raise SimulationError(
+                        "Clifford output support exceeds max_outcomes; sample"
+                        " counts instead"
+                    )
+                if tableau.is_deterministic(qubit):
+                    prefix += str(tableau.measure(qubit, rng))
+                    qubit += 1
+                    continue
+                branch = tableau.copy()
+                branch.measure(qubit, rng, forced=0)
+                recurse(branch, qubit + 1, prefix + "0", weight / 2.0)
+                tableau.measure(qubit, rng, forced=1)
+                prefix += "1"
+                qubit += 1
+                weight /= 2.0
+            outcomes[prefix] = outcomes.get(prefix, 0.0) + weight
 
-        recurse(base.copy(), 0, "", 1.0)
+        recurse(base, 0, "", 1.0)
         return outcomes
 
     # ------------------------------------------------------------------

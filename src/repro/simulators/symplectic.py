@@ -1,0 +1,329 @@
+"""Bit-packed symplectic kernels shared by the stabilizer engines.
+
+Every symplectic object in the Clifford stack — tableau rows, propagated
+Pauli masks, sampled error frames — is a vector of (x|z) bits over ``n``
+qubits.  This module packs those bit-vectors into ``uint64`` words
+(``ceil(n / 64)`` words per half-row, qubit ``q`` at bit ``q % 64`` of word
+``q // 64``) and provides the whole-array kernels the engines share:
+
+* :func:`pack_rows` / :func:`unpack_rows` — the boundary converters (used at
+  measurement/output edges and by the differential tests; the engines never
+  unpack mid-computation);
+* :func:`conjugate_columns_packed` — symplectic conjugation of a block of
+  packed Pauli rows by one Clifford gate, as two-or-three word-column ops
+  regardless of row count;
+* :func:`phase_g_sum` — the CHP phase accumulator reduced to popcount
+  arithmetic: the per-qubit exponent ``g`` of Aaronson–Gottesman is ``+1``
+  exactly on the qubit patterns ``(Z,X), (X,Y), (Y,Z)`` and ``-1`` on
+  ``(Z,Y), (X,Z), (Y,X)``, so the column sum is the popcount of one OR-mask
+  minus the popcount of the other — six AND-words per 64 qubits instead of
+  six boolean masks per qubit;
+* :func:`rowsum_rows` — all rowsums of one measurement collapse applied to
+  every affected row at once;
+* :func:`product_phase` — the sign of an ordered product of commuting packed
+  Pauli rows (the deterministic-measurement reduction), vectorized through a
+  prefix-XOR: every prefix product of stabilizer-group elements carries a
+  real ``±1`` sign, so the mod-4 phase contributions can be summed in one
+  shot instead of row-by-row.
+
+The packed kernels are the default; ``REPRO_PURE_KERNELS=1``
+(:func:`use_packed_kernels`) switches every consumer back to the pure
+boolean-row path, which is kept alive as the differential-testing reference
+(``tests/test_symplectic_diff.py``) and exercised by its own CI leg.
+Outputs are bit-identical between the two paths by construction.
+
+Where available, popcount and the frame XOR-gather ride the optional numba
+kernels of :mod:`repro.simulators._kernels`; absence of numba only changes
+speed, never results.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ._kernels import popcount64, xor_gather_reduce
+
+__all__ = [
+    "WORD_BITS",
+    "num_words",
+    "use_packed_kernels",
+    "pack_rows",
+    "unpack_rows",
+    "bit_column",
+    "conjugate_columns_packed",
+    "phase_g_sum",
+    "rowsum_rows",
+    "product_phase",
+    "popcount64",
+    "xor_gather_reduce",
+]
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+_BYTE_WEIGHTS = (_ONE << (np.uint64(8) * np.arange(8, dtype=np.uint64))).astype(
+    np.uint64
+)
+
+
+def use_packed_kernels() -> bool:
+    """True unless ``REPRO_PURE_KERNELS=1`` demands the boolean-row path.
+
+    Read at call time (not import time) so tests can flip the toggle per
+    case; every packed/pure dispatch point in the stabilizer stack goes
+    through this one predicate.
+    """
+    return os.environ.get("REPRO_PURE_KERNELS", "") != "1"
+
+
+def num_words(num_qubits: int) -> int:
+    """Packed words per ``num_qubits``-bit half-row (``ceil(n / 64)``)."""
+    return (int(num_qubits) + WORD_BITS - 1) // WORD_BITS
+
+
+# ---------------------------------------------------------------------------
+# Boundary converters
+# ---------------------------------------------------------------------------
+
+
+def pack_rows(bits: np.ndarray, num_qubits: int | None = None) -> np.ndarray:
+    """Pack boolean rows ``(..., n)`` into ``(..., ceil(n/64))`` uint64 words.
+
+    Qubit ``q`` lands at bit ``q % 64`` of word ``q // 64`` (little-endian
+    within the word); pad bits beyond ``n`` are zero.  Endianness-independent
+    by construction (bytes are combined arithmetically, never reinterpreted).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    n = bits.shape[-1] if num_qubits is None else int(num_qubits)
+    W = num_words(max(n, 1))
+    padded = np.zeros(bits.shape[:-1] + (W * WORD_BITS,), dtype=np.uint8)
+    padded[..., :n] = bits[..., :n]
+    grouped = np.packbits(padded, axis=-1, bitorder="little")
+    grouped = grouped.reshape(bits.shape[:-1] + (W, 8)).astype(np.uint64)
+    return (grouped * _BYTE_WEIGHTS).sum(axis=-1, dtype=np.uint64)
+
+
+def unpack_rows(words: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: ``(..., W)`` words to ``(..., n)`` bools."""
+    words = np.asarray(words, dtype=np.uint64)
+    shifts = (np.uint64(8) * np.arange(8, dtype=np.uint64))
+    as_bytes = ((words[..., None] >> shifts) & np.uint64(0xFF)).astype(np.uint8)
+    flat = as_bytes.reshape(words.shape[:-1] + (words.shape[-1] * 8,))
+    bits = np.unpackbits(flat, axis=-1, bitorder="little")
+    return bits[..., : int(num_qubits)].astype(bool)
+
+
+def bit_column(words: np.ndarray, qubit: int) -> np.ndarray:
+    """Bit ``qubit`` of every packed row, as a boolean column."""
+    w, s = divmod(int(qubit), WORD_BITS)
+    return (words[..., w] & (_ONE << np.uint64(s))) != 0
+
+
+# ---------------------------------------------------------------------------
+# Packed Clifford conjugation (phase-free column updates)
+# ---------------------------------------------------------------------------
+
+
+def conjugate_columns_packed(
+    xw: np.ndarray,
+    zw: np.ndarray,
+    name: str,
+    qubits: Sequence[int],
+    params: Sequence[float] = (),
+) -> None:
+    """Conjugate a block of packed Pauli rows by one Clifford gate, in place.
+
+    The phase-free x/z update of ``P -> G P G†`` applied to every row of
+    ``xw``/``zw`` (shape ``(rows, W)``) at once: each gate touches one or two
+    word columns, so the cost is independent of the qubit count.  Phases are
+    deliberately not tracked — mask propagation and the mirror-target
+    derivation only need anticommutation structure.
+    """
+    if name in ("id", "i", "x", "y", "z"):
+        return
+    if name == "h":
+        w, s = divmod(int(qubits[0]), WORD_BITS)
+        mask = _ONE << np.uint64(s)
+        delta = (xw[:, w] ^ zw[:, w]) & mask
+        xw[:, w] ^= delta
+        zw[:, w] ^= delta
+    elif name in ("s", "sdg"):
+        w, s = divmod(int(qubits[0]), WORD_BITS)
+        mask = _ONE << np.uint64(s)
+        zw[:, w] ^= xw[:, w] & mask
+    elif name in ("sx", "sxdg"):
+        w, s = divmod(int(qubits[0]), WORD_BITS)
+        mask = _ONE << np.uint64(s)
+        xw[:, w] ^= zw[:, w] & mask
+    elif name in ("cx", "cnot"):
+        wc, sc = divmod(int(qubits[0]), WORD_BITS)
+        wt, st = divmod(int(qubits[1]), WORD_BITS)
+        xc = (xw[:, wc] >> np.uint64(sc)) & _ONE
+        zt = (zw[:, wt] >> np.uint64(st)) & _ONE
+        xw[:, wt] ^= xc << np.uint64(st)
+        zw[:, wc] ^= zt << np.uint64(sc)
+    elif name == "cz":
+        wa, sa = divmod(int(qubits[0]), WORD_BITS)
+        wb, sb = divmod(int(qubits[1]), WORD_BITS)
+        xa = (xw[:, wa] >> np.uint64(sa)) & _ONE
+        xb = (xw[:, wb] >> np.uint64(sb)) & _ONE
+        zw[:, wb] ^= xa << np.uint64(sb)
+        zw[:, wa] ^= xb << np.uint64(sa)
+    elif name == "swap":
+        wa, sa = divmod(int(qubits[0]), WORD_BITS)
+        wb, sb = divmod(int(qubits[1]), WORD_BITS)
+        for parts in (xw, zw):
+            a_bits = (parts[:, wa] >> np.uint64(sa)) & _ONE
+            b_bits = (parts[:, wb] >> np.uint64(sb)) & _ONE
+            delta = a_bits ^ b_bits
+            parts[:, wa] ^= delta << np.uint64(sa)
+            parts[:, wb] ^= delta << np.uint64(sb)
+    elif name in ("rz", "u1", "p"):
+        quarter_turns = int(round(float(params[0]) / (math.pi / 2))) % 4
+        if quarter_turns in (1, 3):
+            w, s = divmod(int(qubits[0]), WORD_BITS)
+            mask = _ONE << np.uint64(s)
+            zw[:, w] ^= xw[:, w] & mask
+    else:
+        raise ValueError(f"gate '{name}' is not Clifford-propagatable")
+
+
+def compose_suffix_packed(
+    x_of_x: np.ndarray,
+    x_of_z: np.ndarray,
+    name: str,
+    qubits: Sequence[int],
+    params: Sequence[float] = (),
+) -> None:
+    """Prepend one Clifford gate to a suffix conjugation map, in place.
+
+    ``x_of_x[q]``/``x_of_z[q]`` hold the packed *x-parts* of the images of
+    ``X_q``/``Z_q`` under conjugation by some gate suffix ``S``.  This
+    updates them to the map of ``S ∘ G``: the image of ``X_q`` becomes
+    ``S(G X_q G†)``, a GF(2) combination of the *existing* rows, so each
+    gate costs one or two row XOR/swap operations of ``W`` words — walking a
+    template backward builds every intermediate suffix map in
+    ``O(gates · W)`` total, independent of how many Pauli rows will later be
+    pushed through those maps.  Phase-free, with exactly the gate alphabet
+    (and the same quarter-turn rounding) as :func:`conjugate_columns_packed`.
+    """
+    if name in ("id", "i", "x", "y", "z"):
+        return
+    if name == "h":
+        a = int(qubits[0])
+        x_of_x[a], x_of_z[a] = x_of_z[a].copy(), x_of_x[a].copy()
+    elif name in ("s", "sdg"):
+        a = int(qubits[0])
+        x_of_x[a] ^= x_of_z[a]
+    elif name in ("sx", "sxdg"):
+        a = int(qubits[0])
+        x_of_z[a] ^= x_of_x[a]
+    elif name in ("cx", "cnot"):
+        c, t = int(qubits[0]), int(qubits[1])
+        x_of_x[c] ^= x_of_x[t]
+        x_of_z[t] ^= x_of_z[c]
+    elif name == "cz":
+        a, b = int(qubits[0]), int(qubits[1])
+        x_of_x[a] ^= x_of_z[b]
+        x_of_x[b] ^= x_of_z[a]
+    elif name == "swap":
+        a, b = int(qubits[0]), int(qubits[1])
+        x_of_x[[a, b]] = x_of_x[[b, a]]
+        x_of_z[[a, b]] = x_of_z[[b, a]]
+    elif name in ("rz", "u1", "p"):
+        quarter_turns = int(round(float(params[0]) / (math.pi / 2))) % 4
+        if quarter_turns in (1, 3):
+            a = int(qubits[0])
+            x_of_x[a] ^= x_of_z[a]
+    else:
+        raise ValueError(f"gate '{name}' is not Clifford-propagatable")
+
+
+# ---------------------------------------------------------------------------
+# Phase kernels (popcount arithmetic)
+# ---------------------------------------------------------------------------
+
+
+def phase_g_sum(
+    x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray
+) -> np.ndarray:
+    """Column-summed CHP phase exponent ``sum_q g((x1,z1)_q, (x2,z2)_q)``.
+
+    ``g`` is ``+1`` on qubit patterns ``(Z,X), (X,Y), (Y,Z)``, ``-1`` on
+    ``(Z,Y), (X,Z), (Y,X)`` and ``0`` elsewhere; every pattern contains at
+    least one *set* bit from each operand, so zero pad bits contribute
+    nothing and the whole sum is two popcounts.  Broadcasts over leading
+    axes; the trailing axis is the packed word axis.
+    """
+    plus = (
+        (~x1 & z1 & x2 & ~z2)
+        | (x1 & ~z1 & x2 & z2)
+        | (x1 & z1 & ~x2 & z2)
+    )
+    minus = (
+        (~x1 & z1 & x2 & z2)
+        | (x1 & ~z1 & ~x2 & z2)
+        | (x1 & z1 & x2 & ~z2)
+    )
+    return popcount64(plus).sum(axis=-1).astype(np.int64) - popcount64(minus).sum(
+        axis=-1
+    ).astype(np.int64)
+
+
+def rowsum_rows(
+    xw: np.ndarray,
+    zw: np.ndarray,
+    r: np.ndarray,
+    rows: np.ndarray,
+    source: int,
+) -> None:
+    """CHP rowsum of row ``source`` into every row of ``rows``, at once.
+
+    Each target row is multiplied by the (unchanged) source row; because all
+    rowsums of one measurement collapse share the source, they are
+    independent and vectorize.  Phases follow Aaronson–Gottesman: the new
+    sign bit is set iff ``2 r_h + 2 r_i + sum_q g(row_i, row_h) ≡ 2 (mod 4)``.
+    """
+    phase = (
+        2 * r[rows].astype(np.int64)
+        + 2 * int(r[source])
+        + phase_g_sum(xw[source][None, :], zw[source][None, :], xw[rows], zw[rows])
+    )
+    r[rows] = (phase % 4) == 2
+    xw[rows] ^= xw[source][None, :]
+    zw[rows] ^= zw[source][None, :]
+
+
+def product_phase(
+    xw: np.ndarray, zw: np.ndarray, r: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Ordered product of commuting packed Pauli rows: ``(x, z, sign)``.
+
+    Folds the rows top-down exactly like the sequential ``rowsum_into``
+    reduction of the pure tableau, but in one vectorized pass: the x/z part
+    of the accumulator before step ``i`` is the prefix-XOR of rows
+    ``0..i-1``, and since every prefix here is a stabilizer-group element
+    (real ``±1`` sign, phase ``0`` or ``2`` mod 4), the per-step mod-4
+    reductions commute with summing all contributions first.  Returns the
+    packed product row and its sign bit (True = ``-1``).
+    """
+    if xw.shape[0] == 0:
+        W = xw.shape[1] if xw.ndim == 2 else 0
+        zeros = np.zeros(W, dtype=np.uint64)
+        return zeros, zeros.copy(), False
+    prefix_x = np.bitwise_xor.accumulate(xw, axis=0)
+    prefix_z = np.bitwise_xor.accumulate(zw, axis=0)
+    # Accumulator state before row i: prefix of rows < i (zero before row 0,
+    # which contributes g(row, 0) = 0 — every g pattern needs a set bit from
+    # the accumulator side too).
+    before_x = np.zeros_like(xw)
+    before_z = np.zeros_like(zw)
+    before_x[1:] = prefix_x[:-1]
+    before_z[1:] = prefix_z[:-1]
+    total = 2 * int(r.sum()) + int(phase_g_sum(xw, zw, before_x, before_z).sum())
+    return prefix_x[-1].copy(), prefix_z[-1].copy(), (total % 4) == 2

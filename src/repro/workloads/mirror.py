@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..simulators import symplectic
 
 __all__ = [
     "DEFAULT_MIRROR_LAYERS",
@@ -116,15 +117,33 @@ def _target_bits(forward: QuantumCircuit, paulis: List[str]) -> str:
     """The deterministic outcome of ``F† P F |0…0⟩``.
 
     Row ``q`` tracks ``S_q = F Z_q F†``; output bit ``q`` is 1 exactly when
-    the Pauli layer anticommutes with ``S_q``.
+    the Pauli layer anticommutes with ``S_q``.  By default the rows live as
+    packed uint64 words and the anticommutation parity is two popcounts per
+    row; ``REPRO_PURE_KERNELS=1`` keeps the boolean-row derivation as the
+    differential reference.  The bitstring is identical either way.
     """
     n = forward.num_qubits
+    pauli_x = np.array([p in ("x", "y") for p in paulis], dtype=bool)
+    pauli_z = np.array([p in ("z", "y") for p in paulis], dtype=bool)
+    if symplectic.use_packed_kernels():
+        xwords = np.zeros((n, symplectic.num_words(n)), dtype=np.uint64)
+        zwords = symplectic.pack_rows(np.eye(n, dtype=bool), n)
+        for gate in forward:
+            symplectic.conjugate_columns_packed(
+                xwords, zwords, gate.name, gate.qubits, gate.params
+            )
+        pauli_xw = symplectic.pack_rows(pauli_x, n)
+        pauli_zw = symplectic.pack_rows(pauli_z, n)
+        # anticommute(S_q, P) = parity(x(S_q)·z(P)) xor parity(z(S_q)·x(P))
+        weight = symplectic.popcount64(xwords & pauli_zw[None, :]).sum(
+            axis=1
+        ) + symplectic.popcount64(zwords & pauli_xw[None, :]).sum(axis=1)
+        flips = (weight % 2).astype(bool)
+        return "".join("1" if flip else "0" for flip in flips)
     xparts = np.zeros((n, n), dtype=bool)
     zparts = np.eye(n, dtype=bool)
     for gate in forward:
         _conjugate_rows(xparts, zparts, gate)
-    pauli_x = np.array([p in ("x", "y") for p in paulis], dtype=bool)
-    pauli_z = np.array([p in ("z", "y") for p in paulis], dtype=bool)
     # anticommute(S_q, P) = parity(x(S_q)·z(P)) xor parity(z(S_q)·x(P))
     flips = np.logical_xor(
         (xparts & pauli_z[None, :]).sum(axis=1) % 2,

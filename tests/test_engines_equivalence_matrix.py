@@ -1,0 +1,134 @@
+"""Packed-vs-pure kernel equivalence matrix for the Clifford engines.
+
+Runs the ``stabilizer`` and ``stabilizer_frames`` engines across the existing
+DD-assignment and readout matrices twice — once on the default packed
+symplectic kernels, once with ``REPRO_PURE_KERNELS=1`` — and requires the
+outputs to be *bit-identical*: counts, probabilities, the frame engine's
+exact ``flip_free_probability`` metadata, and the
+:class:`~repro.simulators.SparseDistribution` support the sparse path emits.
+Store keys fingerprint these payloads, so "bit-identical" is the contract
+that lets the two kernel paths share one ``SCHEMA_VERSION``.
+
+Both implementations of the frame-flip accumulation are exercised: the
+sparse scatter-XOR default, and the dense gather kernel that takes over in
+high-error regimes (forced here by shrinking the dispatch threshold).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.dd import DDAssignment
+from repro.hardware import NoisyExecutor
+from repro.simulators.engines import StabilizerFrameEngine, get_engine
+
+ASSIGNMENTS = [DDAssignment.none(), DDAssignment.all([0]), DDAssignment.all([0, 1, 3])]
+SEEDS = [11, 22]
+ENGINES = ["stabilizer", "stabilizer_frames"]
+
+
+def clifford_probe(num_qubits=5, idle_qubit=0, cnot_link=(1, 3), repetitions=10):
+    """The idle-qubit probe of ``test_engines.py`` (Clifford gates only)."""
+    circuit = QuantumCircuit(num_qubits)
+    circuit.h(idle_qubit)
+    circuit.barrier(idle_qubit, *cnot_link)
+    for _ in range(repetitions):
+        circuit.cx(*cnot_link)
+    circuit.barrier(idle_qubit, *cnot_link)
+    circuit.h(idle_qubit)
+    circuit.measure(idle_qubit)
+    circuit.measure(cnot_link[0])
+    return circuit
+
+
+def _run(backend, engine, assignment, seed, pure, monkeypatch):
+    if pure:
+        monkeypatch.setenv("REPRO_PURE_KERNELS", "1")
+    else:
+        monkeypatch.delenv("REPRO_PURE_KERNELS", raising=False)
+    executor = NoisyExecutor(backend, seed=seed, trajectories=40)
+    return executor.run(
+        clifford_probe(), dd_assignment=assignment, shots=256, engine=engine, seed=seed
+    )
+
+
+def _assert_identical(fast, pure):
+    assert fast.counts == pure.counts
+    assert fast.probabilities == pure.probabilities
+    assert fast.metadata.get("flip_free_probability") == pure.metadata.get(
+        "flip_free_probability"
+    )
+    assert fast.engine == pure.engine
+    assert fast.output_qubits == pure.output_qubits
+
+
+class TestKernelEquivalenceMatrix:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("assignment", ASSIGNMENTS, ids=["none", "q0", "q013"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dd_matrix_bit_identical(
+        self, london_backend, engine, assignment, seed, monkeypatch
+    ):
+        fast = _run(london_backend, engine, assignment, seed, False, monkeypatch)
+        pure = _run(london_backend, engine, assignment, seed, True, monkeypatch)
+        _assert_identical(fast, pure)
+        if engine == "stabilizer_frames":
+            # The sparse path folds readout per frame and reports the exact
+            # flip-free probability; both facts must survive the kernel swap.
+            assert fast.metadata.get("flip_free_probability") is not None
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_readout_matrix_bit_identical(
+        self, rome_backend, guadalupe_backend, engine, monkeypatch
+    ):
+        """Different calibrations (readout asymmetries) across two devices."""
+        for backend in (rome_backend, guadalupe_backend):
+            fast = _run(backend, engine, DDAssignment.none(), 33, False, monkeypatch)
+            pure = _run(backend, engine, DDAssignment.none(), 33, True, monkeypatch)
+            _assert_identical(fast, pure)
+
+    def test_sparse_support_identical(self, london_backend, monkeypatch):
+        """The SparseDistribution support (the exact set of output strings,
+        in insertion order) matches between kernel modes."""
+        fast = _run(
+            london_backend, "stabilizer_frames", ASSIGNMENTS[2], 11, False, monkeypatch
+        )
+        pure = _run(
+            london_backend, "stabilizer_frames", ASSIGNMENTS[2], 11, True, monkeypatch
+        )
+        assert list(fast.probabilities) == list(pure.probabilities)
+
+    def test_dense_gather_branch_bit_identical(self, london_backend, monkeypatch):
+        """Forcing the dense gather kernel must not change a single bit."""
+        fast = _run(
+            london_backend, "stabilizer_frames", ASSIGNMENTS[1], 22, False, monkeypatch
+        )
+        monkeypatch.setattr(StabilizerFrameEngine, "_DENSE_GATHER_FRACTION", -1.0)
+        dense = _run(
+            london_backend, "stabilizer_frames", ASSIGNMENTS[1], 22, False, monkeypatch
+        )
+        _assert_identical(fast, dense)
+
+    def test_batch_invariance_survives_kernel_swap(self, london_backend, monkeypatch):
+        """Same program, two jobs in one engine batch: per-job results match
+        the one-job runs on both kernel paths."""
+        for pure in (False, True):
+            single_a = _run(
+                london_backend, "stabilizer_frames", ASSIGNMENTS[0], 11, pure, monkeypatch
+            )
+            single_b = _run(
+                london_backend, "stabilizer_frames", ASSIGNMENTS[1], 11, pure, monkeypatch
+            )
+            again_a = _run(
+                london_backend, "stabilizer_frames", ASSIGNMENTS[0], 11, pure, monkeypatch
+            )
+            assert single_a.probabilities == again_a.probabilities
+            assert single_a.probabilities != single_b.probabilities
+
+    def test_memory_model_reports_packed_words(self):
+        """The frame engine's budget model is trajectories x packed words."""
+        engine = get_engine("stabilizer_frames")
+        assert engine.state_bytes(64, 100) == 8 * 1 * 100
+        assert engine.state_bytes(65, 100) == 8 * 2 * 100
+        assert engine.state_bytes(1023, 60) == 8 * 16 * 60
+        assert engine.state_bytes(0, 0) >= 1

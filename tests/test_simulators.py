@@ -191,6 +191,41 @@ class TestStabilizer:
         probs = StabilizerSimulator().probabilities(circuit)
         assert probs == pytest.approx({"0": 1.0})
 
+    def test_probabilities_copy_budget_on_ghz16(self, monkeypatch):
+        """Exact enumeration copies the tableau 2^w - 1 times for w free bits.
+
+        The 16-qubit GHZ state has a single free bit, so the branch walk must
+        clone exactly once — the regression guarded here is the old
+        implementation's copy-per-branch-per-level recursion, which scaled
+        with depth instead of with the number of branch points.
+        """
+        from repro.simulators import stabilizer as stabilizer_module
+
+        circuit = QuantumCircuit(16)
+        circuit.h(0)
+        for qubit in range(15):
+            circuit.cx(qubit, qubit + 1)
+        copies = []
+        monkeypatch.setattr(stabilizer_module, "_COPY_HOOK", lambda: copies.append(1))
+        probs = StabilizerSimulator().probabilities(circuit)
+        assert probs == pytest.approx({"0" * 16: 0.5, "1" * 16: 0.5})
+        assert len(copies) == 1
+
+    def test_probabilities_copy_budget_two_branch_points(self, monkeypatch):
+        from repro.simulators import stabilizer as stabilizer_module
+
+        circuit = QuantumCircuit(16)
+        circuit.h(0)
+        circuit.h(8)
+        for qubit in range(7):
+            circuit.cx(qubit, qubit + 1)
+            circuit.cx(qubit + 8, qubit + 9)
+        copies = []
+        monkeypatch.setattr(stabilizer_module, "_COPY_HOOK", lambda: copies.append(1))
+        probs = StabilizerSimulator().probabilities(circuit)
+        assert len(probs) == 4
+        assert len(copies) == 3  # 2^2 - 1 for two free bits
+
 
 class TestExtendedStabilizer:
     def test_clifford_circuit_uses_stabilizer_engine(self, ghz3_circuit):
