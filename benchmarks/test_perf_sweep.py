@@ -1,0 +1,166 @@
+"""Performance gates for multi-worker sweep draining and `--join` work stealing.
+
+Two gates on the distributed execution path:
+
+* **speedup** — an embarrassingly-parallel sweep of uniform tasks must drain
+  at least ``MIN_POOL_SPEEDUP`` (2x) faster with 4 pooled workers than with
+  1.  The pool clamps to the machine's core count, so this gate needs >= 4
+  CPUs (it skips itself below that, e.g. in constrained containers).
+* **join efficiency** — two orchestrators draining the same sweep through the
+  lease layer must execute every task exactly once between them (zero
+  duplicated work) and leave the store bit-identical to a serial drain.
+
+Run with ``python -m pytest benchmarks/test_perf_sweep.py -s`` (the
+benchmarks directory is opt-in).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import SweepOrchestrator, SweepSpec, expand_sweep
+from repro.runtime.tasks import TaskKind, register_task_kind
+from repro.store import ExperimentStore
+from repro.testing import print_section
+
+MIN_POOL_SPEEDUP = 2.0
+POOL_WORKERS = 4
+TASK_SLEEP_S = 0.25
+N_TASKS = 12
+
+
+def _execute_bench_sleep(params, store):
+    """A uniform, deterministic stand-in for an experiment leaf: fixed-cost
+    wall-clock work whose record depends only on the seed."""
+    time.sleep(float(params["sleep_s"]))
+    seed = int(params["seed"])
+    rng = np.random.default_rng(seed)
+    return (
+        {"kind": "bench_sleep", "seed": seed, "sleep_s": params["sleep_s"]},
+        {"draws": rng.standard_normal(16)},
+    )
+
+
+register_task_kind(
+    TaskKind(
+        name="bench_sleep",
+        axes=("seed",),
+        defaults={"sleep_s": TASK_SLEEP_S},
+        execute=_execute_bench_sleep,
+        key_extras=lambda params: {},
+    )
+)
+
+
+def _uniform_sweep(tag: str):
+    return [
+        SweepSpec(
+            name=f"perf/{tag}",
+            kind="bench_sleep",
+            seeds=tuple(range(N_TASKS)),
+        )
+    ]
+
+
+def _payloads(store: ExperimentStore, tasks) -> dict:
+    payloads = {}
+    for task in tasks:
+        record = store.get(task.key)
+        assert record is not None, f"missing record for {task.task_id}"
+        payloads[task.key] = json.dumps(
+            {
+                "meta": record.meta,
+                "arrays": {k: v.tolist() for k, v in record.arrays.items()},
+            },
+            sort_keys=True,
+        )
+    return payloads
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < POOL_WORKERS,
+    reason=f"pool clamps to cores; needs >= {POOL_WORKERS} CPUs",
+)
+def test_pooled_drain_speedup(tmp_path):
+    print_section("Sweep orchestrator: multi-worker drain speedup")
+    specs = _uniform_sweep("speedup")
+    tasks = expand_sweep(specs)
+
+    serial_store = ExperimentStore(tmp_path / "serial")
+    start = time.perf_counter()
+    serial = SweepOrchestrator(serial_store).run(specs, name="serial")
+    t_serial = time.perf_counter() - start
+    assert len(serial.executed) == len(tasks) and not serial.failed
+
+    pooled_store = ExperimentStore(tmp_path / "pooled")
+    start = time.perf_counter()
+    pooled = SweepOrchestrator(pooled_store, n_workers=POOL_WORKERS).run(
+        specs, name="pooled"
+    )
+    t_pooled = time.perf_counter() - start
+    assert len(pooled.executed) == len(tasks) and not pooled.failed
+
+    speedup = t_serial / max(t_pooled, 1e-9)
+    print(f"tasks ({TASK_SLEEP_S}s each)   : {len(tasks)}")
+    print(f"1 worker              : {t_serial:.2f} s")
+    print(f"{POOL_WORKERS} workers             : {t_pooled:.2f} s")
+    print(f"speedup               : {speedup:.1f}x (required >= {MIN_POOL_SPEEDUP}x)")
+    assert speedup >= MIN_POOL_SPEEDUP, (
+        f"{POOL_WORKERS}-worker drain only {speedup:.1f}x faster than serial"
+        f" ({t_pooled:.2f}s vs {t_serial:.2f}s)"
+    )
+    assert _payloads(pooled_store, tasks) == _payloads(serial_store, tasks), (
+        "pooled drain must store bit-identical results"
+    )
+
+
+def test_join_drain_executes_each_task_once(tmp_path):
+    print_section("Sweep orchestrator: two-worker --join drain, zero duplicates")
+    specs = _uniform_sweep("join")
+    tasks = expand_sweep(specs)
+
+    serial_store = ExperimentStore(tmp_path / "serial")
+    SweepOrchestrator(serial_store).run(specs, name="serial")
+
+    root = tmp_path / "shared"
+    reports = {}
+
+    def drain(worker: str) -> None:
+        orchestrator = SweepOrchestrator(
+            ExperimentStore(root),
+            join=True,
+            lease_ttl_s=30.0,
+            poll_interval_s=0.02,
+            worker_id=worker,
+        )
+        reports[worker] = orchestrator.run(specs, name="join")
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=drain, args=(w,)) for w in ("w1", "w2")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    t_join = time.perf_counter() - start
+
+    executed = [t.task_id for report in reports.values() for t in report.executed]
+    for report in reports.values():
+        assert not report.failed and not report.pending and not report.blocked
+    print(f"tasks                 : {len(tasks)}")
+    print(f"two-worker drain      : {t_join:.2f} s")
+    print(
+        "executed per worker   : "
+        + ", ".join(f"{w}={len(r.executed)}" for w, r in sorted(reports.items()))
+    )
+    assert sorted(executed) == sorted(t.task_id for t in tasks), (
+        "every task must execute exactly once across the joined drains"
+    )
+    assert _payloads(ExperimentStore(root), tasks) == _payloads(
+        serial_store, tasks
+    ), "joined drain must store bit-identical results"

@@ -148,15 +148,16 @@ def run_policy_comparison(
 
 
 def _run_comparison_remote(args) -> BenchmarkEvaluation:
-    benchmark, device_name, calibration_cycle, config, store_root = args
+    benchmark, device_name, calibration_cycle, config, store_spec = args
     backend = Backend.from_name(device_name, cycle=calibration_cycle)
     store = None
-    if store_root is not None:
+    if store_spec is not None:
         from ..store.store import ExperimentStore
 
-        # Each worker opens its own store handle on the shared root: writes
-        # are atomic-rename safe, so concurrent workers never corrupt it.
-        store = ExperimentStore(store_root)
+        # Each worker opens its own store handle on the shared spec (write
+        # root plus any federated read roots): writes are atomic-rename
+        # safe, so concurrent workers never corrupt it.
+        store = ExperimentStore.from_spec(store_spec)
     return run_policy_comparison(benchmark, backend, config, store=store)
 
 
@@ -181,9 +182,9 @@ def run_machine_evaluation(
         pool = create_worker_pool(min(config.n_workers, len(benchmarks)))
         if pool is not None:
             inner = replace(config, n_workers=1)
-            store_root = None if store is None else str(store.root)
+            store_spec = None if store is None else store.spec_string()
             payloads = [
-                (benchmark, device_name, calibration_cycle, inner, store_root)
+                (benchmark, device_name, calibration_cycle, inner, store_spec)
                 for benchmark in benchmarks
             ]
             with pool:

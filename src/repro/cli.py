@@ -5,12 +5,18 @@ Subcommands:
 * ``run``    — execute one task kind and store its record;
 * ``sweep``  — expand a declarative sweep spec (or the built-in ``--smoke``
   sweep) into a task DAG, skip stored tasks, run + checkpoint the rest;
+  ``--join`` drains cooperatively with other ``--join`` processes through
+  crash-safe task leases (work stealing on a shared write root);
 * ``ls``     — list store contents; ``--stats`` adds the aggregated cache
   counters (store hits/misses across sessions + process-level caches);
-* ``gc``     — reclaim stale-schema / corrupt / orphaned artifacts;
-* ``report`` — show sweep journals and per-task status.
+* ``gc``     — reclaim stale-schema / corrupt / orphaned / stale-lease
+  artifacts (write root only);
+* ``report`` — show sweep journals and per-task status; ``--partial``
+  aggregates whatever leaf records already exist mid-sweep.
 
-The store root is ``--store``, else ``$REPRO_STORE``, else ``./.repro-store``.
+The store is ``--store``, else ``$REPRO_STORE``, else ``./.repro-store``, and
+may be a *federation*: ``--store local:shared`` writes to ``local`` and
+reads through ``local`` then ``shared`` (roots joined by ``os.pathsep``).
 Every sweep is resumable by construction: re-running the same spec skips
 every task whose key is already stored, so interrupting a sweep costs only
 the tasks that were in flight.
@@ -40,7 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--store",
             default=None,
-            help=f"store root (default: $REPRO_STORE or {default_store_root()!r})",
+            help=(
+                "store root, or an ordered 'write:read[:read...]' federation"
+                f" (default: $REPRO_STORE or {default_store_root()!r})"
+            ),
         )
 
     run = sub.add_parser("run", help="execute one task and store its record")
@@ -73,6 +82,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--recompute", action="store_true", help="re-execute stored tasks"
     )
     sweep.add_argument(
+        "--join",
+        action="store_true",
+        help=(
+            "drain cooperatively: claim tasks via crash-safe leases so any"
+            " number of --join processes sharing the write root work one"
+            " sweep together"
+        ),
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="steal a dead worker's leases after this heartbeat silence",
+    )
+    sweep.add_argument(
+        "--lease-pack",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks claimed per lease batch (default: auto-sized)",
+    )
+    sweep.add_argument(
         "--expect-all-cached",
         action="store_true",
         help="fail unless every task is a cache hit (CI warm-store gate)",
@@ -100,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="show sweep journals")
     add_store(report)
     report.add_argument("--sweep", default=None, help="journal name filter (substring)")
+    report.add_argument(
+        "--partial",
+        action="store_true",
+        help=(
+            "mid-sweep mode: aggregate whatever leaf records already exist"
+            " and mark the summary partial"
+        ),
+    )
 
     return parser
 
@@ -125,7 +165,7 @@ def _parse_params(pairs: Sequence[str], blob: Optional[str]) -> Dict[str, object
 
 
 def _open_store(args) -> ExperimentStore:
-    return ExperimentStore(args.store)
+    return ExperimentStore.from_spec(args.store)
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +217,9 @@ def _cmd_sweep(args) -> int:
         store,
         n_workers=args.workers,
         progress=None if args.quiet else print,
+        join=args.join,
+        lease_ttl_s=args.lease_ttl,
+        lease_pack=args.lease_pack,
     )
     name = args.name or ("smoke" if args.smoke else specs[0].name)
     report = orchestrator.run(
@@ -189,12 +232,15 @@ def _cmd_sweep(args) -> int:
     if report.failed:
         for task in report.failed:
             print(f"FAILED {task.task_id}: {task.error}", file=sys.stderr)
+        for task in report.blocked:
+            print(f"BLOCKED {task.task_id} (on {task.blocked_on})", file=sys.stderr)
         return 1
-    if args.expect_all_cached and (report.executed or report.pending):
+    if args.expect_all_cached and (report.executed or report.pending or report.blocked):
         print(
             "expected a fully warm store, but"
-            f" {len(report.executed)} task(s) executed and"
-            f" {len(report.pending)} pending",
+            f" {len(report.executed)} task(s) executed,"
+            f" {len(report.pending)} pending and"
+            f" {len(report.blocked)} blocked",
             file=sys.stderr,
         )
         return 1
@@ -275,6 +321,41 @@ def _cmd_gc(args) -> int:
     return 0
 
 
+_STATUS_RANK = {"executed": 4, "cached": 3, "failed": 2, "blocked": 1, "pending": 0}
+
+
+def _merge_journals(journals: List[dict]) -> List[dict]:
+    """Fold per-worker journals of one sweep into a single view.
+
+    ``--join`` workers each checkpoint their own journal under the shared
+    ``sweep_key``; a task executed by worker A shows as ``cached`` in worker
+    B's journal, so the merged status of each task is simply the
+    most-settled one any worker recorded.
+    """
+    merged: Dict[str, dict] = {}
+    for journal in journals:
+        sweep_key = str(journal.get("sweep_key", ""))
+        entry = merged.setdefault(
+            sweep_key,
+            {
+                "name": journal.get("name"),
+                "sweep_key": sweep_key,
+                "workers": [],
+                "tasks": {},
+            },
+        )
+        worker = journal.get("worker")
+        if worker and worker not in entry["workers"]:
+            entry["workers"].append(str(worker))
+        for task_id, task in journal.get("tasks", {}).items():
+            best = entry["tasks"].get(task_id)
+            if best is None or _STATUS_RANK.get(
+                str(task.get("status")), 0
+            ) > _STATUS_RANK.get(str(best.get("status")), 0):
+                entry["tasks"][task_id] = dict(task)
+    return sorted(merged.values(), key=lambda e: str(e.get("name")))
+
+
 def _cmd_report(args) -> int:
     store = _open_store(args)
     journals: List[dict] = []
@@ -290,17 +371,22 @@ def _cmd_report(args) -> int:
     if not journals:
         print("no sweep journals found")
         return 0
-    for journal in journals:
+    for journal in _merge_journals(journals):
         tasks = journal.get("tasks", {})
         by_status: Dict[str, int] = {}
         for entry in tasks.values():
             by_status[entry["status"]] = by_status.get(entry["status"], 0) + 1
         counts = ", ".join(f"{n} {s}" for s, n in sorted(by_status.items()))
-        print(f"{journal.get('name')}  [{journal.get('sweep_key', '')[:12]}]  {counts}")
+        header = f"{journal.get('name')}  [{journal.get('sweep_key', '')[:12]}]  {counts}"
+        if len(journal.get("workers", [])) > 1:
+            header += f"  ({len(journal['workers'])} workers)"
+        print(header)
         for task_id, entry in sorted(tasks.items()):
             line = f"  {entry['status']:>8}  {task_id}"
             if entry.get("seconds"):
                 line += f"  ({entry['seconds']:.2f}s)"
+            if entry.get("blocked_on"):
+                line += f"  (blocked on {entry['blocked_on']})"
             if entry.get("error"):
                 line += f"  !! {entry['error']}"
             print(line)
@@ -311,6 +397,20 @@ def _cmd_report(args) -> int:
                         headline = leaf.get("headline") or {}
                         text = ", ".join(f"{k}={v}" for k, v in sorted(headline.items()))
                         print(f"            {leaf_id}: {text}")
+        if args.partial:
+            from .runtime.orchestrator import partial_summary
+
+            summary = partial_summary(store, tasks)
+            coverage = summary["coverage"]
+            marker = "partial" if summary["partial"] else "complete"
+            print(
+                f"  partial summary: {coverage['stored']}/{coverage['total']}"
+                f" leaves stored ({marker})"
+            )
+            for leaf_id, leaf in sorted(summary["tasks"].items()):
+                headline = leaf.get("headline") or {}
+                text = ", ".join(f"{k}={v}" for k, v in sorted(headline.items()))
+                print(f"            {leaf_id}: {text}")
     return 0
 
 

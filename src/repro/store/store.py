@@ -6,7 +6,16 @@ On-disk layout (all paths under one *store root*)::
       objects/<kk>/<key>.json    -- JSON manifest (schema, kind, meta, array names)
       objects/<kk>/<key>.npz     -- numpy arrays (only when the record has any)
       sweeps/<name>.json         -- sweep checkpoint journals (repro.runtime)
+      leases/<sweep>/<key>.lease -- work-stealing task leases (repro.runtime.leases)
       stats.json                 -- cumulative hit/miss counters across sessions
+
+Federation: a store can be opened over *ordered read-through roots*
+(``ExperimentStore.from_spec("local:shared")``).  Reads consult the first
+(write) root, then each further root in order; every write — records,
+journals, leases, stats, gc — goes to the write root only.  Because keys are
+content-addressed there is no conflict to resolve between roots: two roots
+holding the same key hold the same record by construction, so "first root
+wins" and "any root wins" are the same answer.
 
 where ``<kk>`` is the first two hex characters of the key (fan-out keeps
 directory listings short on large stores).
@@ -38,7 +47,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -74,22 +83,68 @@ class ExperimentStore:
         root: store directory (created on first write).
         max_memory_entries: size of the in-process LRU tier.  ``0`` disables
             the memory tier (every ``get`` decodes from disk — used by tests).
+        read_roots: further roots consulted (in order) when a key is not in
+            the write root.  Read roots are strictly read-only: no writes, no
+            quarantine, no gc ever touches them from this handle.
     """
 
-    def __init__(self, root: Optional[str] = None, max_memory_entries: int = 256) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_memory_entries: int = 256,
+        read_roots: Sequence[str] = (),
+    ) -> None:
         self.root = Path(root if root is not None else default_store_root())
         self.max_memory_entries = max(0, int(max_memory_entries))
         self._memory: Dict[str, StoreRecord] = {}
+        self._readonly = False
+        self._read_stores: List["ExperimentStore"] = []
+        for extra in read_roots:
+            child = ExperimentStore(extra, max_memory_entries=0)
+            child._readonly = True
+            self._read_stores.append(child)
         #: Session counters: memory/disk hits, misses, writes, corrupt drops.
         self.stats: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
+            "federated_hits": 0,
             "misses": 0,
             "writes": 0,
             "corrupt_dropped": 0,
             "probe_hits": 0,
             "probe_misses": 0,
         }
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str], max_memory_entries: int = 256) -> "ExperimentStore":
+        """Open a (possibly federated) store from a ``root[:root...]`` spec.
+
+        The spec is a list of roots joined by ``os.pathsep`` (``:`` on
+        POSIX, like ``$PATH``): the first root takes every write, the rest
+        are ordered read-through fallbacks.  ``None`` falls back to
+        :func:`default_store_root`, which may itself be a federated spec via
+        ``$REPRO_STORE``.
+        """
+        roots = [r for r in (spec or default_store_root()).split(os.pathsep) if r]
+        if not roots:
+            raise ValueError(f"store spec {spec!r} names no roots")
+        return cls(
+            roots[0], max_memory_entries=max_memory_entries, read_roots=roots[1:]
+        )
+
+    def spec_string(self) -> str:
+        """The ``from_spec`` round-trip: write root + read roots, in order.
+
+        This is what crosses process boundaries (fork workers, ``--join``
+        payloads) so every worker sees the same federation.
+        """
+        return os.pathsep.join(
+            [str(self.root)] + [str(child.root) for child in self._read_stores]
+        )
+
+    @property
+    def read_roots(self) -> List[Path]:
+        return [child.root for child in self._read_stores]
 
     # -- paths ----------------------------------------------------------
 
@@ -100,6 +155,10 @@ class ExperimentStore:
     @property
     def sweeps_dir(self) -> Path:
         return self.root / "sweeps"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
 
     def _bucket(self, key: str) -> Path:
         return self.objects_dir / key[:2]
@@ -143,6 +202,11 @@ class ExperimentStore:
         arrays: Optional[Dict[str, np.ndarray]] = None,
     ) -> StoreRecord:
         """Store a record (arrays first, manifest last — see module docs)."""
+        if self._readonly:
+            raise PermissionError(
+                f"store root {self.root} is a federated read root; writes go"
+                " to the first root of the federation"
+            )
         arrays = {str(k): np.asarray(v) for k, v in (arrays or {}).items()}
         record = StoreRecord(
             key=key, meta=dict(meta), arrays=arrays, created_at=time.time()
@@ -168,12 +232,35 @@ class ExperimentStore:
         return record
 
     def get(self, key: str) -> Optional[StoreRecord]:
-        """Fetch a record, or ``None`` on miss / corrupt artifact."""
+        """Fetch a record, or ``None`` on miss / corrupt artifact.
+
+        Lookup order: memory tier, the write root's disk, then each
+        federated read root in order.  A hit from any tier lands in the
+        memory tier, so repeated reads of a shared-root record cost one
+        decode.
+        """
         cached = self._memory.get(key)
         if cached is not None:
             self._memory[key] = self._memory.pop(key)  # LRU refresh
             self.stats["memory_hits"] += 1
             return self._checkout(cached)
+        record = self._read_disk(key)
+        if record is None:
+            for child in self._read_stores:
+                record = child._read_disk(key)
+                if record is not None:
+                    self.stats["federated_hits"] += 1
+                    break
+        if record is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["disk_hits"] += 1
+        self._remember(record)
+        return record
+
+    def _read_disk(self, key: str) -> Optional[StoreRecord]:
+        """Decode one record from this root's disk (no memory tier, no
+        federation, no stats beyond quarantine accounting)."""
         manifest_path = self._manifest_path(key)
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
@@ -181,11 +268,9 @@ class ExperimentStore:
             if manifest.get("key") != key or "meta" not in manifest:
                 raise ValueError("manifest does not describe this key")
         except FileNotFoundError:
-            self.stats["misses"] += 1
             return None
         except (json.JSONDecodeError, ValueError, OSError):
             self._quarantine(key)
-            self.stats["misses"] += 1
             return None
         arrays: Dict[str, np.ndarray] = {}
         if manifest.get("arrays"):
@@ -201,7 +286,6 @@ class ExperimentStore:
                 # Partial write (manifest from an old complete record but a
                 # later crashed arrays rewrite, or filesystem damage).
                 self._quarantine(key)
-                self.stats["misses"] += 1
                 return None
         record = StoreRecord(
             key=key,
@@ -213,10 +297,7 @@ class ExperimentStore:
         if record.schema != SCHEMA_VERSION:
             # Readable but written by another schema: treat as a miss, leave
             # the files for `gc` to reclaim (so downgrades don't destroy data).
-            self.stats["misses"] += 1
             return None
-        self.stats["disk_hits"] += 1
-        self._remember(record)
         return record
 
     def contains(self, key: str) -> bool:
@@ -233,6 +314,8 @@ class ExperimentStore:
         served from the store.
         """
         present = key in self._memory or self._valid_manifest(key)
+        if not present:
+            present = any(child._valid_manifest(key) for child in self._read_stores)
         self.stats["probe_hits" if present else "probe_misses"] += 1
         return present
 
@@ -301,7 +384,14 @@ class ExperimentStore:
         )
 
     def _quarantine(self, key: str) -> None:
-        """Drop the artifacts of an unreadable record so it gets recomputed."""
+        """Drop the artifacts of an unreadable record so it gets recomputed.
+
+        Read-only roots are never mutated: a federated fallback treats their
+        corrupt artifacts as plain misses and leaves cleanup to whoever owns
+        that root as a write root.
+        """
+        if self._readonly:
+            return
         self.stats["corrupt_dropped"] += 1
         for path in (self._manifest_path(key), self._arrays_path(key)):
             try:
@@ -350,6 +440,7 @@ class ExperimentStore:
         self,
         older_than_s: Optional[float] = None,
         dry_run: bool = False,
+        lease_older_than_s: Optional[float] = 86400.0,
     ) -> Dict[str, List[str]]:
         """Reclaim space: stale schemas, corrupt records, orphans, temp files.
 
@@ -359,8 +450,12 @@ class ExperimentStore:
         * manifests that no longer parse;
         * ``.npz`` files with no manifest (crashed before the manifest rename);
         * leftover ``.tmp-*`` files;
+        * lease files untouched for ``lease_older_than_s`` seconds (dead
+          sweeps; live workers re-stamp their leases every few seconds);
         * optionally, records older than ``older_than_s`` seconds.
 
+        GC is scoped to the write root: federated read roots are never
+        touched — each root is collected by whoever opens it as a write root.
         Returns the removed paths grouped by reason.
         """
         removed: Dict[str, List[str]] = {
@@ -369,16 +464,31 @@ class ExperimentStore:
             "orphan": [],
             "tmp": [],
             "expired": [],
+            "stale_lease": [],
         }
         now = time.time()
-        if not self.objects_dir.exists():
-            return removed
 
         def _drop(paths: List[Path], reason: str) -> None:
             for path in paths:
                 removed[reason].append(str(path))
                 if not dry_run and path.exists():
                     path.unlink()
+
+        if self.leases_dir.exists() and lease_older_than_s is not None:
+            for sweep_dir in sorted(self.leases_dir.iterdir()):
+                if not sweep_dir.is_dir():
+                    continue
+                for lease in sorted(sweep_dir.iterdir()):
+                    try:
+                        age = now - lease.stat().st_mtime
+                    except FileNotFoundError:  # pragma: no cover - racing worker
+                        continue
+                    if age > lease_older_than_s:
+                        _drop([lease], "stale_lease")
+                if not dry_run and not any(sweep_dir.iterdir()):
+                    sweep_dir.rmdir()
+        if not self.objects_dir.exists():
+            return removed
 
         for bucket in sorted(self.objects_dir.iterdir()):
             if not bucket.is_dir():

@@ -481,3 +481,130 @@ class TestHardwareScalingKind:
         )
         assert hits_after > hits_before
         assert record.device == "ibmq_rome"
+
+
+class TestContinuousScheduling:
+    """Completion-order settling, journal throttling, blocked reporting."""
+
+    @staticmethod
+    def _register_staggered():
+        import time as _time
+
+        import numpy as np
+
+        def execute(params, store):
+            _time.sleep(float(params.get("sleep_s", 0.0)))
+            return (
+                {"kind": "_staggered", "seed": int(params["seed"])},
+                {"value": np.array([int(params["seed"])])},
+            )
+
+        register_task_kind(
+            TaskKind(
+                name="_staggered",
+                axes=("seed",),
+                defaults={"sleep_s": 0.0},
+                execute=execute,
+                key_extras=lambda params: {},
+            )
+        )
+
+    def _staggered_task(self, task_id, seed, sleep_s):
+        params = {"seed": seed, "sleep_s": sleep_s}
+        return TaskSpec(
+            kind="_staggered",
+            params=params,
+            task_id=task_id,
+            key=resolve_task_key("_staggered", params),
+        )
+
+    def test_pooled_settling_is_completion_order(self, tmp_path, monkeypatch):
+        # Regression for head-of-line blocking: a slow task submitted *first*
+        # must not delay the progress line (or the journal status) of a fast
+        # sibling submitted after it.  The real fork pool clamps to the CPU
+        # count (serial on a 1-core box), so pin a genuinely-concurrent
+        # 2-thread pool — the orchestrator's settle loop is what's under test.
+        from concurrent.futures import ThreadPoolExecutor
+
+        import repro.hardware.batch as batch
+
+        monkeypatch.setattr(
+            batch, "create_worker_pool", lambda n: ThreadPoolExecutor(max_workers=n)
+        )
+        self._register_staggered()
+        slow = self._staggered_task("slow", seed=1, sleep_s=1.0)
+        fast = self._staggered_task("fast", seed=2, sleep_s=0.0)
+        store = ExperimentStore(tmp_path / "store")
+        lines = []
+        report = SweepOrchestrator(
+            store,
+            n_workers=2,
+            progress=lines.append,
+            journal_min_interval_s=0.0,
+        ).run([slow, fast], name="hol")
+        assert len(report.executed) == 2
+        settled = [line.split("] ")[1].split(" ")[0] for line in lines]
+        assert settled == ["fast", "slow"]
+        # The journal written between the two settles already shows the fast
+        # task executed while the slow one is still pending.
+        journal = json.loads(next(iter(store.sweeps_dir.glob("*.json"))).read_text())
+        assert journal["tasks"]["fast"]["status"] == "executed"
+
+    def test_journal_writes_are_throttled(self, tmp_path):
+        self._register_staggered()
+        tasks = [
+            self._staggered_task(f"t{i}", seed=10 + i, sleep_s=0.0)
+            for i in range(20)
+        ]
+        store = ExperimentStore(tmp_path / "store")
+        report = SweepOrchestrator(store, journal_min_interval_s=3600.0).run(
+            tasks, name="throttle"
+        )
+        assert len(report.executed) == 20
+        # One initial forced write + one final forced write; the 20 settles
+        # in between never rewrote the journal (previously O(n^2) bytes).
+        assert report.journal_writes == 2
+        journal = json.loads(next(iter(store.sweeps_dir.glob("*.json"))).read_text())
+        assert all(
+            entry["status"] == "executed" for entry in journal["tasks"].values()
+        )
+
+    def test_unthrottled_journal_tracks_every_settle(self, tmp_path):
+        self._register_staggered()
+        tasks = [
+            self._staggered_task(f"u{i}", seed=50 + i, sleep_s=0.0)
+            for i in range(5)
+        ]
+        store = ExperimentStore(tmp_path / "store")
+        report = SweepOrchestrator(store, journal_min_interval_s=0.0).run(
+            tasks, name="eager"
+        )
+        assert report.journal_writes >= 3  # initial + per-iteration + final
+
+    def test_summary_line_separates_blocked_from_pending(self, tmp_path):
+        register_task_kind(
+            TaskKind(
+                name="_always_fails",
+                axes=("seed",),
+                defaults={},
+                execute=lambda params, store: (_ for _ in ()).throw(
+                    RuntimeError("boom")
+                ),
+                key_extras=lambda p: {},
+            )
+        )
+        bad = TaskSpec(
+            kind="_always_fails",
+            params={"seed": 9},
+            task_id="bad",
+            key=resolve_task_key("_always_fails", {"seed": 9}),
+        )
+        summary = summary_task([bad])
+        store = ExperimentStore(tmp_path / "store")
+        report = SweepOrchestrator(store).run([bad, summary], name="blocky")
+        assert [t.task_id for t in report.blocked] == ["sweep_summary"]
+        assert report.blocked[0].blocked_on == "bad"
+        assert not report.pending  # blocked is its own bucket now
+        line = report.summary_line()
+        assert "1 blocked" in line and "0 pending" in line
+        assert "(blocked on: bad)" in line

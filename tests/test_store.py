@@ -6,6 +6,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -492,3 +493,95 @@ class TestAggregatedCacheStats:
         batch_stats = batch.cache_stats()
         assert batch_stats["cached_programs"] == 0
         assert batch_stats["process_gate_matrices"] > 0
+
+
+class TestFederation:
+    """Ordered read-through roots: `--store write:read[:read...]`."""
+
+    @staticmethod
+    def _put(store, meta_tag):
+        meta = {"kind": "figure1", "tag": meta_tag}
+        arrays = {"values": np.arange(3, dtype=np.float64) + len(meta_tag)}
+        key = fingerprint({"federation-test": meta_tag})
+        store.put(key, meta, arrays)
+        return key
+
+    def test_read_through_hits_in_root_order(self, tmp_path):
+        shared = ExperimentStore(tmp_path / "shared")
+        key = self._put(shared, "shared-record")
+        local = ExperimentStore(tmp_path / "local", read_roots=[tmp_path / "shared"])
+        assert local.contains(key)
+        record = local.get(key)
+        assert record.meta["tag"] == "shared-record"
+        assert local.stats["federated_hits"] == 1
+        # Served into the local memory tier: the second read is a memory hit.
+        local.get(key)
+        assert local.stats["federated_hits"] == 1
+        assert local.stats["memory_hits"] == 1
+
+    def test_writes_go_to_first_root_only(self, tmp_path):
+        local = ExperimentStore(tmp_path / "local", read_roots=[tmp_path / "shared"])
+        key = self._put(local, "local-record")
+        assert local._manifest_path(key).exists()
+        shared = ExperimentStore(tmp_path / "shared")
+        assert not shared.contains(key)
+
+    def test_own_root_shadows_read_roots(self, tmp_path):
+        # Same key in both roots (content-addressed, so payloads agree):
+        # the write root must win without touching the fallbacks.
+        shared = ExperimentStore(tmp_path / "shared")
+        key = self._put(shared, "same")
+        local = ExperimentStore(tmp_path / "local", read_roots=[tmp_path / "shared"])
+        self._put(local, "same")
+        local._memory.clear()
+        assert local.get(key).meta["tag"] == "same"
+        assert local.stats["federated_hits"] == 0
+
+    def test_read_roots_are_never_mutated(self, tmp_path):
+        shared = ExperimentStore(tmp_path / "shared")
+        key = self._put(shared, "damaged")
+        # Corrupt the shared copy: a plain store would quarantine it on read,
+        # but a federated *read root* must never be written to.
+        shared._manifest_path(key).write_text("{ damaged", encoding="utf-8")
+        local = ExperimentStore(
+            tmp_path / "local", read_roots=[tmp_path / "shared"]
+        )
+        assert local.get(key) is None  # corrupt fallback is a miss...
+        assert shared._manifest_path(key).exists()  # ...not a quarantine
+        with pytest.raises(PermissionError):
+            local._read_stores[0].put(key, {"kind": "figure1"}, {})
+
+    def test_from_spec_roundtrip(self, tmp_path):
+        spec = os.pathsep.join(
+            [str(tmp_path / "write"), str(tmp_path / "ro1"), str(tmp_path / "ro2")]
+        )
+        store = ExperimentStore.from_spec(spec)
+        assert store.spec_string() == spec
+        assert store.root == tmp_path / "write"
+        assert store.read_roots == [tmp_path / "ro1", tmp_path / "ro2"]
+        with pytest.raises(ValueError, match="no roots"):
+            ExperimentStore.from_spec(os.pathsep)
+
+    def test_gc_reclaims_stale_leases_only_past_ttl(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        sweep_dir = store.leases_dir / "deadbeef"
+        sweep_dir.mkdir(parents=True)
+        stale = sweep_dir / "old.lease"
+        stale.write_text("{}", encoding="utf-8")
+        old = time.time() - 7200.0
+        os.utime(stale, (old, old))
+        fresh = sweep_dir / "new.lease"
+        fresh.write_text("{}", encoding="utf-8")
+
+        removed = store.gc(dry_run=True, lease_older_than_s=3600.0)
+        assert removed["stale_lease"] == [str(stale)]
+        assert stale.exists()  # dry run
+
+        removed = store.gc(lease_older_than_s=3600.0)
+        assert removed["stale_lease"] == [str(stale)]
+        assert not stale.exists() and fresh.exists()
+        assert sweep_dir.exists()  # still holds the live lease
+
+        os.utime(fresh, (old, old))
+        store.gc(lease_older_than_s=3600.0)
+        assert not sweep_dir.exists()  # emptied sweep dirs are pruned
