@@ -1,0 +1,122 @@
+"""Performance gate for the persistent sweep service (``repro serve``).
+
+The daemon's whole reason to exist is amortization: a long-lived process
+keeps compiled programs, noise tables, execution contexts and the store's
+memory tier warm, where every one-shot CLI invocation pays interpreter
+start-up, imports and cold caches from scratch.  The gate makes that
+quantitative:
+
+* **warm-server throughput** — submitting ``N_REQUESTS`` distinct requests
+  to an already-warm daemon must complete at least ``MIN_SERVE_SPEEDUP``
+  (2x) faster than running the same requests as ``N_REQUESTS`` separate
+  ``python -m repro run`` invocations;
+* **identical results** — both sides must leave byte-identical records under
+  the same store keys (the speedup is never allowed to change the physics).
+
+Run with ``python -m pytest benchmarks/test_perf_serve.py -s`` (the
+benchmarks directory is opt-in; CI runs this in the nightly perf job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service import RunRequest, ServiceClient, SweepService
+from repro.store import ExperimentStore
+from repro.testing import print_section
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MIN_SERVE_SPEEDUP = 2.0
+N_REQUESTS = 4
+BASE = {"device": "ibmq_rome", "benchmark": "GHZ:3", "shots": 1024}
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _run_cmd(store: Path, seed: int) -> list:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "run",
+        "--store",
+        str(store),
+        "--kind",
+        "benchmark_run",
+        "--json",
+        json.dumps({**BASE, "seed": seed}),
+    ]
+
+
+def test_warm_server_beats_per_invocation_cli(tmp_path):
+    cli_store = tmp_path / "cli-store"
+    serve_store = tmp_path / "serve-store"
+    seeds = list(range(N_REQUESTS))
+
+    # Cold side: one process per request, exactly how a script would loop
+    # over `repro run` today.
+    env = _cli_env()
+    cli_start = time.perf_counter()
+    for seed in seeds:
+        proc = subprocess.run(
+            _run_cmd(cli_store, seed),
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+    cli_seconds = time.perf_counter() - cli_start
+
+    # Warm side: one daemon, same requests.  Warm-up (daemon start + first
+    # context build) is excluded — the gate measures the steady state a
+    # long-lived service actually operates in.
+    service = SweepService(
+        str(serve_store), str(tmp_path / "perf.sock"), poll_interval_s=0.02
+    )
+    service.start()
+    try:
+        client = ServiceClient(service.socket_path)
+        warmup = client.submit_run({**BASE, "seed": 10_000})
+        assert client.wait(warmup, timeout_s=300)["status"] == "done"
+        serve_start = time.perf_counter()
+        job_ids = [client.submit_run({**BASE, "seed": seed}) for seed in seeds]
+        for job_id in job_ids:
+            assert client.wait(job_id, timeout_s=300)["status"] == "done"
+        serve_seconds = time.perf_counter() - serve_start
+        packing = client.stats()["packing"]
+    finally:
+        service.close()
+
+    # Same keys, byte-identical records on both sides.
+    cli_records = ExperimentStore(cli_store)
+    serve_records = ExperimentStore(serve_store)
+    for seed in seeds:
+        key = RunRequest(**{**BASE, "seed": seed}).key
+        cold = cli_records.get(key)
+        warm = serve_records.get(key)
+        assert cold is not None and warm is not None
+        assert json.dumps(cold.meta, sort_keys=True) == json.dumps(
+            warm.meta, sort_keys=True
+        )
+
+    speedup = cli_seconds / max(serve_seconds, 1e-9)
+    print_section("warm-server throughput")
+    print(f"  per-invocation CLI: {cli_seconds:8.2f}s for {N_REQUESTS} requests")
+    print(f"  warm server:        {serve_seconds:8.2f}s for {N_REQUESTS} requests")
+    print(f"  speedup:            {speedup:8.1f}x (gate: >= {MIN_SERVE_SPEEDUP}x)")
+    print(f"  packing: {packing}")
+    assert speedup >= MIN_SERVE_SPEEDUP, (
+        f"warm server only {speedup:.1f}x faster than per-invocation CLI"
+        f" ({serve_seconds:.2f}s vs {cli_seconds:.2f}s)"
+    )

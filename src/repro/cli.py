@@ -12,7 +12,13 @@ Subcommands:
 * ``gc``     — reclaim stale-schema / corrupt / orphaned / stale-lease
   artifacts (write root only);
 * ``report`` — show sweep journals and per-task status; ``--partial``
-  aggregates whatever leaf records already exist mid-sweep.
+  aggregates whatever leaf records already exist mid-sweep;
+* ``serve``  — host the persistent multi-tenant sweep service on a Unix
+  socket: an async job queue with per-tenant quotas/priorities, bounded-queue
+  backpressure and a shot/experiment packing scheduler (see
+  :mod:`repro.service`);
+* ``submit`` / ``jobs`` / ``cancel`` — client side of ``serve``: enqueue a
+  run or sweep, list/watch jobs, cancel one.
 
 The store is ``--store``, else ``$REPRO_STORE``, else ``./.repro-store``, and
 may be a *federation*: ``--store local:shared`` writes to ``local`` and
@@ -33,6 +39,32 @@ from typing import Dict, List, Optional, Sequence
 from .store.store import ExperimentStore, default_store_root
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code for backpressure rejections (queue full / quota exceeded):
+#: sysexits' EX_TEMPFAIL — "try again later", which is exactly the contract.
+EX_TEMPFAIL = 75
+
+
+def _positive_int(raw: str) -> int:
+    """Argparse type for flags that only make sense as positive integers."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    """Argparse type for flags that only make sense as positive numbers."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {raw!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,9 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="run the built-in CI smoke sweep"
     )
     sweep.add_argument("--name", default=None, help="sweep name (journal label)")
-    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
     sweep.add_argument(
-        "--max-tasks", type=int, default=None, help="execute at most N tasks, then stop"
+        "--workers", type=_positive_int, default=1, help="worker processes"
+    )
+    sweep.add_argument(
+        "--max-tasks",
+        type=_positive_int,
+        default=None,
+        help="execute at most N tasks, then stop",
     )
     sweep.add_argument(
         "--recompute", action="store_true", help="re-execute stored tasks"
@@ -92,14 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--lease-ttl",
-        type=float,
+        type=_positive_float,
         default=60.0,
         metavar="SECONDS",
         help="steal a dead worker's leases after this heartbeat silence",
     )
     sweep.add_argument(
         "--lease-pack",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="tasks claimed per lease batch (default: auto-sized)",
@@ -140,6 +177,97 @@ def build_parser() -> argparse.ArgumentParser:
             " and mark the summary partial"
         ),
     )
+
+    def add_socket(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket",
+            required=True,
+            metavar="PATH",
+            help="Unix socket path of the sweep service",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="host the persistent multi-tenant sweep service"
+    )
+    add_store(serve)
+    add_socket(serve)
+    serve.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        help="bound on queued jobs (submissions beyond it are rejected)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=_positive_int,
+        default=16,
+        help="per-tenant bound on queued+running jobs",
+    )
+    serve.add_argument(
+        "--max-experiments",
+        type=_positive_int,
+        default=75,
+        help="chunks packed per batch (result-invariant batch shaping)",
+    )
+    serve.add_argument(
+        "--max-shots",
+        type=_positive_int,
+        default=8192,
+        help=(
+            "default per-request shot chunk bound (result-determining:"
+            " part of each request's store key)"
+        ),
+    )
+    serve.add_argument(
+        "--sweep-workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for sweep jobs",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-job lines")
+
+    submit = sub.add_parser("submit", help="submit a run or sweep to the service")
+    add_socket(submit)
+    submit.add_argument(
+        "--kind", default="benchmark_run", help="task kind for a run submission"
+    )
+    submit.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="run parameter (VALUE parsed as JSON, else kept as string)",
+    )
+    submit.add_argument("--json", default=None, help="run parameters as one JSON object")
+    submit.add_argument(
+        "--spec", default=None, help="sweep spec JSON file (submits a sweep job)"
+    )
+    submit.add_argument("--name", default=None, help="sweep name (journal label)")
+    submit.add_argument("--tenant", default="default", help="tenant identity")
+    submit.add_argument(
+        "--priority", type=int, default=0, help="dispatch priority (higher first)"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job settles"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait limit",
+    )
+
+    jobs = sub.add_parser("jobs", help="list the service's jobs")
+    add_socket(jobs)
+    jobs.add_argument("--tenant", default=None, help="only this tenant's jobs")
+    jobs.add_argument(
+        "--stats", action="store_true", help="show queue/packing/cache counters"
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a service job")
+    add_socket(cancel)
+    cancel.add_argument("job_id", help="job id returned by submit")
 
     return parser
 
@@ -366,11 +494,20 @@ def _cmd_report(args) -> int:
                     journals.append(json.load(handle))
             except (json.JSONDecodeError, OSError):
                 continue
+    available = sorted({str(j.get("name", "")) for j in journals})
     if args.sweep:
         journals = [j for j in journals if args.sweep in str(j.get("name", ""))]
     if not journals:
-        print("no sweep journals found")
-        return 0
+        if args.sweep:
+            listing = ", ".join(available) if available else "(none)"
+            print(
+                f"no sweep journal matches {args.sweep!r};"
+                f" available journals: {listing}",
+                file=sys.stderr,
+            )
+        else:
+            print("no sweep journals found", file=sys.stderr)
+        return 1
     for journal in _merge_journals(journals):
         tasks = journal.get("tasks", {})
         by_status: Dict[str, int] = {}
@@ -414,19 +551,130 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service.server import SweepService
+
+    service = SweepService(
+        args.store,
+        socket_path=args.socket,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        max_experiments=args.max_experiments,
+        max_shots=args.max_shots,
+        sweep_workers=args.sweep_workers,
+        progress=(lambda line: None) if args.quiet else print,
+    )
+    return service.serve_forever()
+
+
+def _job_line(job: dict) -> str:
+    line = (
+        f"{job['job_id']}  {str(job['status']):>9}  {job['type']:<5}"
+        f"  tenant={job['tenant']}  prio={job['priority']}"
+    )
+    progress = job.get("progress") or {}
+    if "total" in progress:
+        line += f"  [{progress.get('settled', 0)}/{progress['total']}]"
+    return line
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    try:
+        if args.spec:
+            from .runtime.spec import load_spec
+
+            specs = load_spec(args.spec)
+            job_id = client.submit_sweep(
+                [spec.to_dict() for spec in specs],
+                name=args.name or specs[0].name,
+                tenant=args.tenant,
+                priority=args.priority,
+            )
+        else:
+            params = _parse_params(args.param, args.json)
+            job_id = client.submit_run(
+                params, kind=args.kind, tenant=args.tenant, priority=args.priority
+            )
+    except ServiceError as exc:
+        print(f"rejected ({exc.code}): {exc}", file=sys.stderr)
+        if exc.retry_after_s is not None:
+            print(f"retry after {float(exc.retry_after_s):.1f}s", file=sys.stderr)
+        return EX_TEMPFAIL if exc.code in ("queue_full", "quota_exceeded") else 1
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return 0
+    job = client.wait(job_id, timeout_s=args.timeout)
+    print(_job_line(job))
+    result = job.get("result") or {}
+    if job.get("status") == "done":
+        if "key" in result:
+            print(f"  {result.get('status', 'done'):>9}  {result['key']}")
+        if "summary" in result:
+            print(f"  {result['summary']}")
+        return 0
+    if result.get("error"):
+        print(f"  !! {result['error']}", file=sys.stderr)
+    return 1
+
+
+def _cmd_jobs(args) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.socket)
+    jobs = client.jobs(tenant=args.tenant)
+    for job in jobs:
+        print(_job_line(job))
+    if not jobs:
+        print("no jobs")
+    if args.stats:
+        stats = client.stats()
+        print()
+        print(f"uptime: {float(stats['uptime_s']):.1f}s")
+        for section in ("queue", "packing", "contexts", "store"):
+            payload = stats.get(section) or {}
+            if payload:
+                text = ", ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+                print(f"  {section:9s} {text}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.socket)
+    job = client.cancel(args.job_id)
+    print(_job_line(job))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "ls": _cmd_ls,
     "gc": _cmd_gc,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from .service.client import ServiceError, ServiceUnavailable
+
     try:
         return _COMMANDS[args.command](args)
+    except ServiceUnavailable as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"service error ({exc.code}): {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that is not an error.
         try:

@@ -492,6 +492,40 @@ _register(
 )
 
 
+def _execute_benchmark_run(params, store):
+    from ..service.requests import RunRequest, execute_run_requests
+
+    # Pure compute through the shared Request → Schedule → BatchJob path (the
+    # same packer `repro serve` drives for many concurrent requests).  No
+    # store is passed: the task-level caller owns the write for this key, and
+    # execute_run_requests' own probe/put is the *server's* caching layer —
+    # involving both here would double-put every record.
+    request = RunRequest.from_params(params)
+    (outcome,) = execute_run_requests([request]).values()
+    return outcome.meta, {}
+
+
+_register(
+    TaskKind(
+        name="benchmark_run",
+        axes=("device", "cycle", "workload", "seed"),
+        defaults={
+            "cycle": 0,
+            "shots": 2048,
+            "trajectories": 60,
+            # None = per-workload policy, as in hardware_scaling: mirror
+            # workloads ride stabilizer_frames, the rest auto_dense.
+            "engine": None,
+            # Result-determining device bound: fixes the chunk/seed plan
+            # (must equal service.requests.DEFAULT_MAX_SHOTS — tested).
+            "max_shots": 8192,
+        },
+        execute=_execute_benchmark_run,
+        key_extras=_cal_extras,
+    )
+)
+
+
 def _execute_decoy_correlation(params, store):
     from ..analysis.decoy_quality import decoy_correlation_study
     from ..store.records import encode_decoy_correlation
@@ -540,6 +574,18 @@ def _headline(meta: dict):
         if adapt:
             return {"adapt_relative_fidelity": adapt["relative_fidelity"]}
         return {"policies": sorted(outcomes)}
+    if kind == "benchmark_run":
+        request = meta.get("request", {})
+        headline = {
+            "benchmark": request.get("benchmark"),
+            "shots": meta.get("shots"),
+            "chunks": meta.get("chunks"),
+            "fidelity": meta.get("fidelity"),
+        }
+        if meta.get("mirror_target"):
+            headline["success_probability"] = meta.get("success_probability")
+            headline["verified"] = meta.get("mirror_verified")
+        return headline
     if kind == "decoy_correlation":
         return {"correlation": meta.get("correlation")}
     if kind == "figure1":

@@ -160,6 +160,13 @@ class ExperimentStore:
     def leases_dir(self) -> Path:
         return self.root / "leases"
 
+    @property
+    def jobs_dir(self) -> Path:
+        """Service job journal (``repro serve`` checkpoints job lifecycles)."""
+        path = self.root / "jobs"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
     def _bucket(self, key: str) -> Path:
         return self.objects_dir / key[:2]
 
