@@ -18,7 +18,11 @@ Subcommands:
   backpressure and a shot/experiment packing scheduler (see
   :mod:`repro.service`);
 * ``submit`` / ``jobs`` / ``cancel`` — client side of ``serve``: enqueue a
-  run or sweep, list/watch jobs, cancel one.
+  run or sweep, list/watch jobs, cancel one;
+* ``lint``   — the determinism & concurrency static-analysis pass
+  (:mod:`repro.lint`): no ``hash()``/unsorted accumulation/wall-clock in
+  key paths, ``@guarded_by`` lock-guard checking; non-zero exit on
+  findings, so it gates CI.
 
 The store is ``--store``, else ``$REPRO_STORE``, else ``./.repro-store``, and
 may be a *federation*: ``--store local:shared`` writes to ``local`` and
@@ -50,7 +54,9 @@ def _positive_int(raw: str) -> int:
     try:
         value = int(raw)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {raw!r}"
+        ) from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
     return value
@@ -61,7 +67,9 @@ def _positive_float(raw: str) -> float:
     try:
         value = float(raw)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a positive number, got {raw!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {raw!r}"
+        ) from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
     return value
@@ -268,6 +276,26 @@ def build_parser() -> argparse.ArgumentParser:
     cancel = sub.add_parser("cancel", help="cancel a service job")
     add_socket(cancel)
     cancel.add_argument("job_id", help="job id returned by submit")
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism & concurrency static-analysis pass"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro source tree)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="only run these rule codes (repeatable, e.g. --select REP101)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
 
     return parser
 
@@ -490,7 +518,7 @@ def _cmd_report(args) -> int:
     if store.sweeps_dir.exists():
         for path in sorted(store.sweeps_dir.glob("*.json")):
             try:
-                with open(path, "r", encoding="utf-8") as handle:
+                with open(path, encoding="utf-8") as handle:
                     journals.append(json.load(handle))
             except (json.JSONDecodeError, OSError):
                 continue
@@ -641,6 +669,30 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .lint import all_rules, render_human, render_json, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:28s} {rule.description}")
+        print(
+            "suppress per line with '# repro: allow[CODE] -- reason'"
+            " (REP002/REP003 police unjustified/stale allows)"
+        )
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        # Default to the checkout's source tree when run from the repo root,
+        # else lint the installed package itself.
+        checkout = Path("src/repro")
+        paths = [str(checkout if checkout.is_dir() else Path(__file__).parent)]
+    findings = run_lint(paths, select=args.select or None)
+    print(render_json(findings) if args.json else render_human(findings))
+    return 1 if findings else 0
+
+
 def _cmd_cancel(args) -> int:
     from .service.client import ServiceClient
 
@@ -660,6 +712,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "cancel": _cmd_cancel,
+    "lint": _cmd_lint,
 }
 
 

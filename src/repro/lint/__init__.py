@@ -1,0 +1,52 @@
+"""``repro lint`` — the determinism & concurrency static-analysis pass.
+
+The repo rests on two hand-enforced contracts that reviews keep missing
+(the bug ledger: unsorted-set metric sums, ``hash()`` in key paths,
+float-keyed DD-train lookups, unlocked shared queue state).  This package
+makes them machine-checked:
+
+* **Determinism rules** (``REP1xx``, :mod:`repro.lint.determinism`) —
+  scoped to the modules that feed store keys, records and metrics: no
+  builtin ``hash()``, no unsorted dict/set iteration feeding float
+  accumulation or serialised payloads, no wall-clock/unseeded-randomness
+  reaching the key/record call graph (taint-style reachability), no float
+  literals as dict keys.
+* **Concurrency rules** (``REP2xx``, :mod:`repro.lint.concurrency`) —
+  classes annotate shared mutable attributes with
+  :func:`~repro.lint.annotations.guarded_by`; the pass verifies every
+  ``self.<attr>`` access is lexically inside ``with self.<lock>:`` (or a
+  method declared :func:`~repro.lint.annotations.holds_lock`).
+
+Findings are suppressed per line with ``# repro: allow[CODE] -- reason``;
+a suppression without a justification, or one that suppresses nothing, is
+itself a finding (``REP002`` / ``REP003``).  Run as ``repro lint`` (JSON
+via ``--json``) or import :func:`run_lint` from tests.
+"""
+
+from .annotations import guarded_by, holds_lock
+from .framework import (
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    register_rule,
+    render_human,
+    render_json,
+    run_lint,
+)
+
+# Importing the rule modules registers their rules.
+from . import concurrency, determinism  # noqa: E402,F401  (registration imports)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "guarded_by",
+    "holds_lock",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

@@ -1,0 +1,72 @@
+"""Runtime-side concurrency annotations checked by ``repro lint``.
+
+These decorators are deliberately almost-nothing at runtime: they record
+metadata on the class/function and return it unchanged, so annotating a hot
+class costs one dict at import time.  Their value is the *static* contract
+they declare, which :mod:`repro.lint.concurrency` enforces on every lint
+run: an annotated attribute may only be read or written lexically inside a
+``with self.<lock_attr>:`` block, or inside a method that declares (via
+:func:`holds_lock`) that its callers already hold the lock.
+
+Example::
+
+    @guarded_by("_lock", "_jobs", "_order")
+    class JobQueue:
+        def __init__(self):          # __init__ is exempt (pre-publication)
+            self._lock = threading.Condition()
+            self._jobs = {}
+            self._order = {}
+
+        def submit(self, job):
+            with self._lock:
+                self._jobs[job.job_id] = job   # OK: under the lock
+
+        @holds_lock("_lock")
+        def _fair_queued(self):
+            return sorted(self._jobs)          # OK: callers hold the lock
+"""
+
+from __future__ import annotations
+
+__all__ = ["guarded_by", "holds_lock"]
+
+
+def guarded_by(lock_attr: str, *attrs: str):
+    """Class decorator: ``attrs`` must only be touched under ``self.<lock_attr>``.
+
+    Stackable — a class may declare several locks, each guarding its own
+    attribute set.  The mapping accumulates on ``__guarded_attrs__``
+    (attribute name -> lock attribute name), which the stress tests and the
+    static pass both read.
+    """
+    if not attrs:
+        raise ValueError("guarded_by needs at least one guarded attribute name")
+
+    def decorate(cls):
+        guards = dict(getattr(cls, "__guarded_attrs__", {}))
+        for attr in attrs:
+            guards[str(attr)] = str(lock_attr)
+        cls.__guarded_attrs__ = guards
+        return cls
+
+    return decorate
+
+
+def holds_lock(*lock_attrs: str):
+    """Method decorator: every caller guarantees these locks are held.
+
+    The static pass treats the whole method body as if it were inside
+    ``with self.<lock>:`` for each named lock.  Use it for private helpers
+    that are only ever called from locked regions — the annotation is the
+    documented contract that makes that calling convention checkable.
+    """
+    if not lock_attrs:
+        raise ValueError("holds_lock needs at least one lock attribute name")
+
+    def decorate(fn):
+        fn.__holds_locks__ = tuple(str(name) for name in lock_attrs) + tuple(
+            getattr(fn, "__holds_locks__", ())
+        )
+        return fn
+
+    return decorate

@@ -1,0 +1,300 @@
+"""Concurrency rules (``REP2xx``): the ``@guarded_by`` lock-guard checker.
+
+A lightweight race detector tuned to this codebase's lock idioms.  Classes
+declare which lock protects which shared mutable attributes::
+
+    @guarded_by("_lock", "_jobs", "_order", "_last_served")
+    class JobQueue: ...
+
+and the pass verifies, lexically, that every ``self.<attr>`` read or write
+of an annotated attribute happens
+
+* inside a ``with self.<lock>:`` block (``threading.Lock``, ``RLock`` and
+  ``Condition`` all support the context-manager protocol), or
+* inside a method decorated ``@holds_lock("<lock>")`` — the documented
+  contract that its callers already hold the lock, or
+* inside ``__init__``/``__new__``/``__post_init__``/``__del__``, where the
+  object is not yet (or no longer) shared.
+
+``REP201`` reports guarded accesses outside those regions.  ``REP202``
+reports unsound annotations: non-literal decorator arguments (the pass
+cannot check what it cannot read), locks or guarded attributes that are
+never assigned anywhere in the class, an attribute guarding itself, and
+``holds_lock`` naming a lock no annotation declares.
+
+Known lexical limits (by design — this is a linter, not a model checker):
+a closure that *captures* a guarded attribute under the lock but runs
+later escapes the analysis, and accesses through aliases other than
+``self`` are invisible.  Keep shared state behind methods and the idiom
+stays checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .framework import Finding, Module, Project, Rule, register_rule
+
+__all__ = ["GuardedAttributeRule", "GuardAnnotationSanityRule"]
+
+#: Methods where the instance is private to one thread by construction.
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__", "__del__"}
+
+
+def _decorator_name(node: ast.AST) -> Optional[str]:
+    """The simple name of a decorator call/reference (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _str_args(call: ast.Call) -> Optional[List[str]]:
+    """All positional args as string literals, or None if any is not one."""
+    values: List[str] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            values.append(arg.value)
+        else:
+            return None
+    return values
+
+
+class _ClassAnnotations:
+    """Parsed ``guarded_by`` declarations of one class."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.guards: Dict[str, str] = {}  # attr -> lock attr
+        self.bad_decorators: List[ast.Call] = []
+        for decorator in node.decorator_list:
+            if (
+                isinstance(decorator, ast.Call)
+                and _decorator_name(decorator) == "guarded_by"
+            ):
+                args = _str_args(decorator)
+                if args is None or len(args) < 2 or decorator.keywords:
+                    self.bad_decorators.append(decorator)
+                    continue
+                lock, attrs = args[0], args[1:]
+                for attr in attrs:
+                    self.guards[attr] = lock
+
+    @property
+    def locks(self) -> Set[str]:
+        return set(self.guards.values())
+
+
+def _holds_locks(method: ast.AST) -> Tuple[Set[str], List[ast.Call]]:
+    """Locks declared held via ``@holds_lock`` + unparseable decorators."""
+    held: Set[str] = set()
+    bad: List[ast.Call] = []
+    for decorator in getattr(method, "decorator_list", []):
+        if (
+            isinstance(decorator, ast.Call)
+            and _decorator_name(decorator) == "holds_lock"
+        ):
+            args = _str_args(decorator)
+            if args is None or not args:
+                bad.append(decorator)
+            else:
+                held.update(args)
+    return held, bad
+
+
+def _self_attribute(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name (only the direct form)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _GuardWalker:
+    """Lexical walk of one method, tracking the stack of held locks."""
+
+    def __init__(self, guards: Dict[str, str], held: Set[str]):
+        self.guards = guards
+        self.violations: List[Tuple[ast.Attribute, str, str]] = []
+        self._held = set(held)
+
+    def walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            # Context expressions evaluate *before* any lock is acquired:
+            # check them with the current held-set, then push the locks.
+            for item in node.items:
+                self._check(item.context_expr, inside_with_item=True)
+            acquired = []
+            for item in node.items:
+                attr = _self_attribute(item.context_expr)
+                if (
+                    attr is not None
+                    and attr in set(self.guards.values())
+                    and attr not in self._held
+                ):
+                    acquired.append(attr)
+                    self._held.add(attr)
+            for stmt in node.body:
+                self._visit(stmt)
+            for attr in acquired:
+                self._held.discard(attr)
+            return
+        self._check(node, recurse_children=False)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _check(
+        self,
+        node: ast.AST,
+        inside_with_item: bool = False,
+        recurse_children: bool = True,
+    ) -> None:
+        nodes = ast.walk(node) if recurse_children or inside_with_item else [node]
+        for sub in nodes:
+            if not isinstance(sub, ast.Attribute):
+                continue
+            attr = _self_attribute(sub)
+            if attr is None:
+                continue
+            lock = self.guards.get(attr)
+            if lock is not None and lock not in self._held:
+                self.violations.append((sub, attr, lock))
+
+
+def _assigned_attributes(node: ast.ClassDef) -> Set[str]:
+    """Every ``self.<attr>`` ever stored to, plus class-level names."""
+    assigned: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Store):
+            attr = _self_attribute(sub)
+            if attr is not None:
+                assigned.add(attr)
+        elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+            assigned.add(sub.target.id)
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+    return assigned
+
+
+def _methods(node: ast.ClassDef):
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def _annotated_classes(module: Module):
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            annotations = _ClassAnnotations(node)
+            if annotations.guards or annotations.bad_decorators:
+                yield annotations
+
+
+@register_rule
+class GuardedAttributeRule(Rule):
+    code = "REP201"
+    name = "guarded-attribute"
+    description = (
+        "attributes annotated @guarded_by must be accessed inside"
+        " 'with self.<lock>:' or a @holds_lock method"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for annotations in _annotated_classes(module):
+                if not annotations.guards:
+                    continue
+                for method in _methods(annotations.node):
+                    if method.name in _EXEMPT_METHODS:
+                        continue
+                    held, _ = _holds_locks(method)
+                    walker = _GuardWalker(annotations.guards, held)
+                    walker.walk(method.body)
+                    for node, attr, lock in walker.violations:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"self.{attr} is @guarded_by('{lock}') but"
+                            f" {annotations.node.name}.{method.name} touches it"
+                            f" outside 'with self.{lock}:'; lock around the"
+                            " access or mark the method"
+                            f" @holds_lock('{lock}')",
+                        )
+
+
+@register_rule
+class GuardAnnotationSanityRule(Rule):
+    code = "REP202"
+    name = "guard-annotation-sanity"
+    description = (
+        "@guarded_by/@holds_lock annotations must be statically readable"
+        " and name attributes the class actually has"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            for annotations in _annotated_classes(module):
+                cls = annotations.node
+                for decorator in annotations.bad_decorators:
+                    yield self.finding(
+                        module,
+                        decorator,
+                        "guarded_by arguments must be >= 2 plain string"
+                        " literals ('lock', 'attr', ...) so the pass can"
+                        " check them statically",
+                    )
+                if not annotations.guards:
+                    continue
+                assigned = _assigned_attributes(cls)
+                for lock in sorted(annotations.locks):
+                    if lock not in assigned:
+                        yield self.finding(
+                            module,
+                            cls,
+                            f"@guarded_by names lock '{lock}' but"
+                            f" {cls.name} never assigns self.{lock}",
+                        )
+                for attr, lock in sorted(annotations.guards.items()):
+                    if attr == lock:
+                        yield self.finding(
+                            module,
+                            cls,
+                            f"attribute '{attr}' cannot guard itself",
+                        )
+                    elif attr not in assigned:
+                        yield self.finding(
+                            module,
+                            cls,
+                            f"@guarded_by names attribute '{attr}' but"
+                            f" {cls.name} never assigns self.{attr}",
+                        )
+                for method in _methods(cls):
+                    held, bad = _holds_locks(method)
+                    for decorator in bad:
+                        yield self.finding(
+                            module,
+                            decorator,
+                            "holds_lock arguments must be plain string"
+                            " literals naming lock attributes",
+                        )
+                    for lock in sorted(held - annotations.locks):
+                        yield self.finding(
+                            module,
+                            method,
+                            f"@holds_lock('{lock}') on {cls.name}.{method.name}"
+                            " names a lock no @guarded_by declaration uses"
+                            " (typo, or a stale annotation)",
+                        )

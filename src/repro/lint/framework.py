@@ -1,0 +1,413 @@
+"""The rule engine behind ``repro lint``.
+
+One :class:`Project` parses every ``*.py`` file under the given roots once
+(AST + source lines + suppression comments); each registered :class:`Rule`
+walks the project and yields :class:`Finding` objects.  The engine then
+
+* drops findings covered by a justified suppression comment
+  (``# repro: allow[CODE] -- reason`` on the finding's line, or alone on
+  the line above);
+* emits ``REP002`` for suppressions with no justification (they do *not*
+  suppress — an unexplained allow is a finding, not an escape hatch);
+* emits ``REP003`` for suppressions that matched nothing (stale allows rot
+  into lies about the code, so they must be deleted when the code heals).
+
+Rules register themselves via :func:`register_rule`; the determinism rules
+additionally consult :attr:`Project.determinism_scope` (the modules that
+feed store keys, records and metrics) and :attr:`Project.taint_seeds` (the
+entry points of the key/record call graph).  Both are configurable so the
+self-test fixtures can scope themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_DETERMINISM_SCOPE",
+    "DEFAULT_TAINT_SEEDS",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "run_lint",
+]
+
+#: Modules whose outputs end up in store keys, stored records or reported
+#: metrics — the blast radius of a determinism bug.  Entries ending in ``/``
+#: match a directory anywhere in the path; other entries match a path suffix.
+DEFAULT_DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro/store/",
+    "repro/metrics/",
+    "repro/runtime/tasks.py",
+    "repro/runtime/spec.py",
+    "repro/service/requests.py",
+    "repro/service/scheduler.py",
+)
+
+#: Entry points of the key/record-producing call graph, as
+#: ``(path suffix, function-name glob)`` pairs.  Anything these functions
+#: reach (transitively, within the linted tree) must not consume wall-clock
+#: time or unseeded randomness.
+DEFAULT_TAINT_SEEDS: Tuple[Tuple[str, str], ...] = (
+    ("store/keys.py", "*"),
+    ("store/records.py", "encode_*"),
+    ("store/records.py", "jsonable"),
+    ("runtime/tasks.py", "resolve_task_key"),
+    ("runtime/tasks.py", "merged_params"),
+    ("runtime/tasks.py", "summary_task"),
+    # The request dataclass's key/record producers — not __post_init__,
+    # whose uuid4 request-id is operational identity, never key material.
+    ("service/requests.py", "params"),
+    ("service/requests.py", "key"),
+    ("service/requests.py", "from_params"),
+    ("service/requests.py", "merge_chunk_results"),
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix path relative to the lint root
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    codes: Tuple[str, ...]
+    reason: Optional[str]
+    comment_line: int  # where the comment physically lives
+    covers_line: int  # the source line whose findings it suppresses
+    used: bool = False
+
+
+@dataclass
+class Module:
+    """One parsed source file plus its suppression table."""
+
+    path: Path
+    rel: str  # posix, relative to the lint root
+    name: str  # dotted module name (best effort from the path)
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def suppressions_covering(self, line: int, code: str) -> List[Suppression]:
+        return [
+            s
+            for s in self.suppressions
+            if s.covers_line == line and code in s.codes
+        ]
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``/``description``, register.
+
+    ``check`` receives the whole :class:`Project` so cross-module rules
+    (the taint pass) and per-module rules share one interface; the
+    :meth:`modules` helper iterates per-module.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: "Project") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the global registry (keyed by code)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY and type(_REGISTRY[cls.code]) is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    """Extract ``# repro: allow[...]`` comments via the tokenizer.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps string literals
+    that merely *mention* the suppression syntax — docstrings, help text,
+    the self-test fixtures — from registering as suppressions.
+    """
+    import io
+    import tokenize
+
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
+        return suppressions  # errors are reported as REP001 already
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if not match:
+            continue
+        codes = tuple(
+            code.strip().upper() for code in match.group(1).split(",") if code.strip()
+        )
+        line_no, col = token.start
+        standalone = token.line[:col].strip() == ""
+        suppressions.append(
+            Suppression(
+                codes=codes,
+                reason=match.group(2),
+                comment_line=line_no,
+                # A standalone comment covers the next line; a trailing
+                # comment covers its own.
+                covers_line=line_no + 1 if standalone else line_no,
+            )
+        )
+    return suppressions
+
+
+def _rel_path(file: Path, base: Path) -> str:
+    """Path shown in findings and matched against scope entries.
+
+    Anchored at the ``repro`` package directory when the file lives inside
+    one, so scope entries like ``repro/metrics/`` match no matter which
+    root was passed (``src``, ``src/repro``, or a single file).
+    """
+    parts = file.parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[anchor:])
+    return file.relative_to(base).as_posix()
+
+
+def _module_name(path: Path, root: Path) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    # Anchor at the package root when the layout makes it obvious.
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    return ".".join(parts) if parts else rel.as_posix()
+
+
+class Project:
+    """Every parsed module under ``paths``, plus the rule configuration."""
+
+    def __init__(
+        self,
+        paths: Sequence["Path | str"],
+        determinism_scope: Optional[Sequence[str]] = None,
+        taint_seeds: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        self.determinism_scope = tuple(
+            DEFAULT_DETERMINISM_SCOPE if determinism_scope is None else determinism_scope
+        )
+        self.taint_seeds = tuple(
+            DEFAULT_TAINT_SEEDS if taint_seeds is None else taint_seeds
+        )
+        self.modules: List[Module] = []
+        self.parse_errors: List[Finding] = []
+        for raw in paths:
+            root = Path(raw).resolve()
+            files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            base = root if root.is_dir() else root.parent
+            for file in files:
+                if any(part.startswith(".") for part in file.relative_to(base).parts):
+                    continue
+                self._load(file, base)
+        self.modules.sort(key=lambda m: m.rel)
+
+    def _load(self, file: Path, base: Path) -> None:
+        rel = _rel_path(file, base)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            self.parse_errors.append(
+                Finding(
+                    rule="REP001",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            return
+        self.modules.append(
+            Module(
+                path=file,
+                rel=rel,
+                name=_module_name(file, base),
+                source=source,
+                tree=tree,
+                suppressions=_parse_suppressions(source),
+            )
+        )
+
+    def in_determinism_scope(self, module: Module) -> bool:
+        """Whether ``module`` feeds store keys, records or metrics."""
+        haystack = "/" + module.rel
+        for entry in self.determinism_scope:
+            if entry.endswith("/"):
+                if f"/{entry}" in haystack + "/" or haystack.startswith("/" + entry):
+                    return True
+            elif haystack.endswith("/" + entry) or module.rel == entry:
+                return True
+        return False
+
+    def is_taint_seed(self, module: Module, func_name: str) -> bool:
+        from fnmatch import fnmatch
+
+        for path_suffix, pattern in self.taint_seeds:
+            if (
+                module.rel.endswith(path_suffix) or module.rel == path_suffix
+            ) and fnmatch(func_name, pattern):
+                return True
+        return False
+
+
+def run_lint(
+    paths: Sequence["Path | str"],
+    select: Optional[Sequence[str]] = None,
+    determinism_scope: Optional[Sequence[str]] = None,
+    taint_seeds: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` and return the surviving findings, sorted by location.
+
+    ``select`` restricts to the given rule codes (suppression meta-findings
+    ``REP002``/``REP003`` are always active: they police the suppressions of
+    whatever rules ran).
+    """
+    project = Project(
+        paths, determinism_scope=determinism_scope, taint_seeds=taint_seeds
+    )
+    selected = None if select is None else {code.upper() for code in select}
+    raw: List[Finding] = list(project.parse_errors)
+    for rule in all_rules():
+        if selected is not None and rule.code not in selected:
+            continue
+        raw.extend(rule.check(project))
+
+    by_module = {module.rel: module for module in project.modules}
+    kept: List[Finding] = []
+    for finding in raw:
+        module = by_module.get(finding.path)
+        suppressions = (
+            module.suppressions_covering(finding.line, finding.rule) if module else []
+        )
+        justified = [s for s in suppressions if s.reason]
+        for s in justified:
+            s.used = True
+        if justified:
+            continue
+        # An unjustified allow still *claims* the finding (so it is not
+        # reported twice) but converts it into a REP002 below.
+        for s in suppressions:
+            s.used = True
+        if suppressions:
+            continue
+        kept.append(finding)
+
+    for module in project.modules:
+        for s in module.suppressions:
+            if not s.reason:
+                kept.append(
+                    Finding(
+                        rule="REP002",
+                        path=module.rel,
+                        line=s.comment_line,
+                        col=1,
+                        message=(
+                            f"suppression allow[{','.join(s.codes)}] has no"
+                            " justification; write"
+                            f" '# repro: allow[{','.join(s.codes)}] -- <why this"
+                            " is safe>'"
+                        ),
+                    )
+                )
+            elif not s.used and (
+                selected is None or any(code in selected for code in s.codes)
+            ):
+                kept.append(
+                    Finding(
+                        rule="REP003",
+                        path=module.rel,
+                        line=s.comment_line,
+                        col=1,
+                        message=(
+                            f"unused suppression allow[{','.join(s.codes)}]:"
+                            " nothing on the covered line triggers it — delete"
+                            " the stale allow"
+                        ),
+                    )
+                )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def render_human(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro lint: clean"
+    lines = [f"{f.location()}: {f.rule} {f.message}" for f in findings]
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{code}: {n}" for code, n in sorted(by_rule.items()))
+    lines.append(f"{len(findings)} finding(s)  ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+        indent=1,
+        sort_keys=True,
+    )

@@ -32,6 +32,9 @@ Distribution = Mapping[str, float]
 
 def normalize_counts(counts: Mapping[str, float]) -> Dict[str, float]:
     """Convert counts (or unnormalised weights) to a probability distribution."""
+    # Sorting here would reorder the float summation and break bit-identity
+    # with metrics already stored under SCHEMA_VERSION 3.
+    # repro: allow[REP102] -- insertion order is deterministic per counts payload
     total = float(sum(counts.values()))
     if total <= 0:
         raise ValueError("counts must have positive total weight")
@@ -92,6 +95,9 @@ def hellinger_distance(p: Distribution, q: Distribution) -> float:
 def shannon_entropy(distribution: Distribution) -> float:
     """Shannon entropy in bits."""
     probs = normalize_counts(distribution)
+    # sorted() would change the float accumulation order and the trailing
+    # bits of entropy values already stored by earlier sweeps.
+    # repro: allow[REP102] -- probs preserves deterministic insertion order
     return -sum(p * math.log2(p) for p in probs.values() if p > 0)
 
 

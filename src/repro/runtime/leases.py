@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..lint.annotations import guarded_by
+
 __all__ = ["ClaimBatch", "LeaseManager", "pack_claims", "worker_identity"]
 
 
@@ -94,8 +96,14 @@ def pack_claims(tasks: Sequence, max_tasks: int) -> List[List]:
     return [batch.tasks for batch in batches]
 
 
+@guarded_by("_lock", "_held", "_thread")
 class LeaseManager:
     """Claims, heartbeats, expires and releases task leases for one worker.
+
+    ``_held`` (the task->lease map) and ``_thread`` (the heartbeat thread
+    handle) are shared between claimer threads, the heartbeat thread and
+    ``close()``; the ``@guarded_by`` annotation above makes ``repro lint``
+    verify every access happens under ``self._lock``.
 
     Args:
         root: the store's ``leases/`` directory (always under the federation
@@ -216,7 +224,7 @@ class LeaseManager:
     @staticmethod
     def _read(path: Path) -> Optional[dict]:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 return json.load(handle)
         except FileNotFoundError:
             return None
@@ -267,9 +275,6 @@ class LeaseManager:
         return stamped
 
     def _ensure_heartbeat(self) -> None:
-        if self._thread is not None and self._thread.is_alive():
-            return
-
         def _beat() -> None:
             while not self._stop.wait(self.heartbeat_interval_s):
                 try:
@@ -277,10 +282,16 @@ class LeaseManager:
                 except OSError:  # pragma: no cover - e.g. store dir removed
                     pass
 
-        self._thread = threading.Thread(
-            target=_beat, name=f"lease-heartbeat-{self.worker_id}", daemon=True
-        )
-        self._thread.start()
+        # Check-and-spawn under the lock: two claimers racing through here
+        # used to be able to start two heartbeat threads (harmless but
+        # wasteful, and close() would only join the second).
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._thread = threading.Thread(
+                target=_beat, name=f"lease-heartbeat-{self.worker_id}", daemon=True
+            )
+            self._thread.start()
 
     # -- release --------------------------------------------------------
 
@@ -304,8 +315,14 @@ class LeaseManager:
         worker would, so expiry/steal paths can be exercised end-to-end.
         """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+        # Take the handle under the lock, join outside it: the heartbeat
+        # thread acquires _lock in heartbeat_now(), so joining while holding
+        # the lock could stall the join until its timeout.
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
         if (
             abandon
             or os.environ.get("REPRO_TEST_ABANDON_LEASES") == "1"

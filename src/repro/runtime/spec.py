@@ -142,7 +142,7 @@ def expand_sweep(
 
 def load_spec(path: str) -> List[SweepSpec]:
     """Load one or many sweep specs from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     if "sweeps" in payload:
         shared = payload.get("name", "sweep")

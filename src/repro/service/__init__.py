@@ -27,7 +27,7 @@ makes a served result bit-identical to a serial CLI run of the same request.
 """
 
 from .client import ServiceClient, ServiceError, ServiceUnavailable
-from .queue import Job, JobQueue, QueueFull, QuotaExceeded
+from .queue import Job, JobQueue, QueueFull, QuotaExceeded, ServiceRejection
 from .requests import (
     DEFAULT_MAX_EXPERIMENTS,
     DEFAULT_MAX_SHOTS,
@@ -50,6 +50,7 @@ __all__ = [
     "RunRequest",
     "ServiceClient",
     "ServiceError",
+    "ServiceRejection",
     "ServiceUnavailable",
     "ShotChunk",
     "SweepService",

@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..lint.annotations import guarded_by, holds_lock
+
 __all__ = ["Job", "JobQueue", "QueueFull", "QuotaExceeded", "ServiceRejection"]
 
 #: Job lifecycle states.  ``queued → running → done|failed``; ``cancelled``
@@ -100,8 +102,17 @@ class Job:
         return payload
 
 
+@guarded_by("_lock", "_jobs", "_order", "_last_served", "stats")
 class JobQueue:
-    """Thread-safe bounded queue with per-tenant quotas and fair dispatch."""
+    """Thread-safe bounded queue with per-tenant quotas and fair dispatch.
+
+    Every attribute named in the ``@guarded_by`` annotation above is shared
+    between submitter threads (handler side) and the claimer (scheduler
+    thread); ``repro lint`` statically verifies each access sits under
+    ``with self._lock:`` or inside a ``@holds_lock`` helper.  Callers who
+    need the counters should use :meth:`stats_snapshot`, not reach into
+    ``stats`` directly.
+    """
 
     def __init__(self, depth: int = 64, tenant_quota: int = 16) -> None:
         if int(depth) <= 0:
@@ -150,6 +161,7 @@ class JobQueue:
             self._lock.notify_all()
             return job
 
+    @holds_lock("_lock")
     def _retry_hint(self) -> float:
         """A coarse back-off hint: half a second per queued job, floored."""
         queued = sum(1 for j in self._jobs.values() if j.status == "queued")
@@ -157,6 +169,7 @@ class JobQueue:
 
     # -- dispatch -------------------------------------------------------
 
+    @holds_lock("_lock")
     def _fair_queued(self) -> List[Job]:
         """Every queued job, in dispatch order (see module docs)."""
         queued = [j for j in self._jobs.values() if j.status == "queued"]
@@ -217,6 +230,7 @@ class JobQueue:
                 claimed.append(job)
             return claimed
 
+    @holds_lock("_lock")
     def _mark_running(self, job: Job) -> None:
         job.status = "running"
         job.started_at = time.time()
@@ -270,6 +284,11 @@ class JobQueue:
             for job in self._jobs.values():
                 counts[job.status] = counts.get(job.status, 0) + 1
             return counts
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Consistent copy of the admission counters, safe to hand out."""
+        with self._lock:
+            return dict(self.stats)
 
     def wait_for_work(self, timeout: float) -> bool:
         """Block until a job is queued (or ``timeout`` elapses)."""

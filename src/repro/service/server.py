@@ -43,6 +43,7 @@ import time
 import uuid
 from typing import Dict, List, Optional
 
+from ..lint.annotations import guarded_by
 from ..store.store import ExperimentStore
 from .queue import Job, JobQueue, ServiceRejection
 from .requests import (
@@ -107,8 +108,13 @@ class _Handler(socketserver.StreamRequestHandler):
         self.wfile.flush()
 
 
+@guarded_by("_stats_lock", "_pack_totals", "_jobs_executed")
 class SweepService:
     """The daemon behind ``repro serve`` (and the in-process test harness).
+
+    The execution counters named above are written by the scheduler thread
+    and read by handler threads (the ``stats`` op), so they live behind
+    ``_stats_lock``; ``repro lint`` verifies every access statically.
 
     Args:
         store_spec: store root or ``write:read[:read...]`` federation spec.
@@ -158,6 +164,8 @@ class SweepService:
         self._idle.set()
         self._server: Optional[_Server] = None
         self._threads: List[threading.Thread] = []
+        # Written by the scheduler thread, read by handler threads (`stats`).
+        self._stats_lock = threading.Lock()
         self._pack_totals: Dict[str, int] = {}
         self._jobs_executed = 0
 
@@ -397,12 +405,15 @@ class SweepService:
         return {"ok": True, "job": job.to_payload(include_result=False)}
 
     def _op_stats(self, payload: dict) -> dict:
+        with self._stats_lock:
+            jobs_executed = self._jobs_executed
+            packing = dict(self._pack_totals)
         return {
             "ok": True,
             "uptime_s": time.time() - self._started_at,
-            "jobs_executed": self._jobs_executed,
-            "queue": {"counts": self.queue.counts(), **self.queue.stats},
-            "packing": dict(self._pack_totals),
+            "jobs_executed": jobs_executed,
+            "queue": {"counts": self.queue.counts(), **self.queue.stats_snapshot()},
+            "packing": packing,
             "contexts": dict(self.contexts.stats),
             "store": dict(self.store.stats),
         }
@@ -502,12 +513,13 @@ class SweepService:
                 self._journal(job)
             return
         stats = execute_run_requests.last_pack_stats
-        for counter, value in stats.items():
-            self._pack_totals[counter] = self._pack_totals.get(counter, 0) + int(value)
-        self._pack_totals["rounds"] = self._pack_totals.get("rounds", 0) + 1
+        with self._stats_lock:
+            for counter, value in stats.items():
+                self._pack_totals[counter] = self._pack_totals.get(counter, 0) + int(value)
+            self._pack_totals["rounds"] = self._pack_totals.get("rounds", 0) + 1
+            self._jobs_executed += len(live)
         for job in live:
             outcome = outcomes[job.job_id]
-            self._jobs_executed += 1
             self.queue.settle(
                 job.job_id,
                 "done",
@@ -543,7 +555,8 @@ class SweepService:
             self.queue.settle(job.job_id, "failed", {"error": f"{type(exc).__name__}: {exc}"})
             self._journal(job)
             return
-        self._jobs_executed += 1
+        with self._stats_lock:
+            self._jobs_executed += 1
         self.queue.settle(job.job_id, "done", {"status": status, "key": key})
         self._progress(f"[{status:>8}] job {job.job_id} ({kind})")
         self._journal(job)
@@ -600,7 +613,8 @@ class SweepService:
         elif report.failed:
             self.queue.settle(job.job_id, "failed", result)
         else:
-            self._jobs_executed += 1
+            with self._stats_lock:
+                self._jobs_executed += 1
             self.queue.settle(job.job_id, "done", result)
         self._progress(f"[{self.queue.get(job.job_id).status:>8}] job {job.job_id} (sweep)")
         self._journal(job)

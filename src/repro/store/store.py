@@ -270,7 +270,7 @@ class ExperimentStore:
         federation, no stats beyond quarantine accounting)."""
         manifest_path = self._manifest_path(key)
         try:
-            with open(manifest_path, "r", encoding="utf-8") as handle:
+            with open(manifest_path, encoding="utf-8") as handle:
                 manifest = json.load(handle)
             if manifest.get("key") != key or "meta" not in manifest:
                 raise ValueError("manifest does not describe this key")
@@ -424,7 +424,7 @@ class ExperimentStore:
         rows: List[Dict[str, object]] = []
         for path in self._iter_manifests():
             try:
-                with open(path, "r", encoding="utf-8") as handle:
+                with open(path, encoding="utf-8") as handle:
                     manifest = json.load(handle)
             except (json.JSONDecodeError, OSError):
                 rows.append({"key": path.stem, "kind": "<corrupt>", "schema": None})
@@ -510,7 +510,7 @@ class ExperimentStore:
                 pair = [path, self._arrays_path(key)]
                 pair = [p for p in pair if p.exists()]
                 try:
-                    with open(path, "r", encoding="utf-8") as handle:
+                    with open(path, encoding="utf-8") as handle:
                         manifest = json.load(handle)
                 except (json.JSONDecodeError, OSError):
                     _drop(pair, "corrupt")
@@ -564,7 +564,7 @@ class ExperimentStore:
 
     def cumulative_stats(self) -> Dict[str, int]:
         try:
-            with open(self.stats_path, "r", encoding="utf-8") as handle:
+            with open(self.stats_path, encoding="utf-8") as handle:
                 return {str(k): int(v) for k, v in json.load(handle).items()}
         except (FileNotFoundError, json.JSONDecodeError, OSError, ValueError):
             return {}

@@ -126,11 +126,9 @@ def _decompose_gate(gate: Gate) -> Iterable[Gate]:
         return
     if name == "cz":
         control, target = gate.qubits
-        for sub in single_qubit_basis_gates(Gate("h", (target,))):
-            yield sub
+        yield from single_qubit_basis_gates(Gate("h", (target,)))
         yield Gate("cx", (control, target), label=gate.label)
-        for sub in single_qubit_basis_gates(Gate("h", (target,))):
-            yield sub
+        yield from single_qubit_basis_gates(Gate("h", (target,)))
         return
     if name == "swap":
         a, b = gate.qubits

@@ -1,0 +1,603 @@
+"""Self-tests for the ``repro lint`` static-analysis pass.
+
+Each rule gets positive fixtures (seeded violations the rule must catch)
+and negative fixtures (idiomatic code it must leave alone), written as
+source strings linted through temp files — the same path ``repro lint``
+takes.  On top of the per-rule matrix:
+
+* suppression semantics — justified allows suppress, unjustified allows
+  become ``REP002``, stale allows become ``REP003``;
+* the runtime side of ``@guarded_by``/``@holds_lock`` (metadata only);
+* the CLI surface (exit codes, ``--json``, ``--list-rules``);
+* the gate this PR ships: the repo tree at HEAD lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import guarded_by, holds_lock, run_lint
+from repro.lint.framework import Project
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint(tmp_path, source, name="mod.py", scope=("mod.py",), seeds=(), select=None):
+    """Write ``source`` to a temp module and lint it like the CLI would."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint(
+        [str(path)],
+        select=select,
+        determinism_scope=list(scope),
+        taint_seeds=list(seeds),
+    )
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+# -- REP101: builtin hash() -------------------------------------------------
+
+
+class TestBuiltinHash:
+    def test_flags_builtin_hash(self, tmp_path):
+        findings = lint(tmp_path, "key = hash((1, 2))\n", select=["REP101"])
+        assert codes(findings) == ["REP101"]
+
+    def test_hashlib_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import hashlib
+
+            def digest(data: bytes) -> str:
+                return hashlib.sha256(data).hexdigest()
+            """,
+            select=["REP101"],
+        )
+        assert findings == []
+
+    def test_locally_shadowed_hash_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def hash(data):
+                return len(data)
+
+            value = hash("abc")
+            """,
+            select=["REP101"],
+        )
+        assert findings == []
+
+
+# -- REP102: unsorted accumulation -----------------------------------------
+
+
+class TestUnsortedAccumulation:
+    def test_sum_over_dict_values(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def total(counts):
+                return sum(counts.values())
+            """,
+            select=["REP102"],
+        )
+        assert codes(findings) == ["REP102"]
+
+    def test_sum_over_set_union_comprehension(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def tvd(p, q):
+                return sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in set(p) | set(q))
+            """,
+            select=["REP102"],
+        )
+        assert codes(findings) == ["REP102"]
+
+    def test_join_over_set(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def render(names):
+                return ",".join({n.strip() for n in names})
+            """,
+            select=["REP102"],
+        )
+        assert codes(findings) == ["REP102"]
+
+    def test_for_loop_accumulating_over_dict_items(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def total(weights):
+                acc = 0.0
+                for name, value in weights.items():
+                    acc += value
+                return acc
+            """,
+            select=["REP102"],
+        )
+        assert codes(findings) == ["REP102"]
+
+    def test_sorted_iteration_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def total(counts):
+                return sum(counts[k] for k in sorted(counts))
+
+            def tvd(p, q):
+                keys = sorted(set(p) | set(q))
+                return sum(p.get(k, 0.0) for k in keys)
+            """,
+            select=["REP102"],
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "def total(counts):\n    return sum(counts.values())\n",
+            scope=("somewhere/else/",),
+            select=["REP102"],
+        )
+        assert findings == []
+
+
+# -- REP103: taint reachability --------------------------------------------
+
+
+class TestTaintReachability:
+    def test_nondeterminism_reachable_from_seed(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def helper(params):
+                return {"at": stamp(), **params}
+
+            def resolve_key(params):
+                return helper(params)
+            """,
+            seeds=[("mod.py", "resolve_key")],
+            select=["REP103"],
+        )
+        assert codes(findings) == ["REP103"]
+        assert "time.time()" in findings[0].message
+        # The chain names the seed and walks to the offending function.
+        assert "resolve_key" in findings[0].message
+        assert "stamp" in findings[0].message
+
+    def test_unreachable_nondeterminism_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import time
+
+            def unrelated_logging():
+                return time.time()
+
+            def resolve_key(params):
+                return dict(params)
+            """,
+            seeds=[("mod.py", "resolve_key")],
+            select=["REP103"],
+        )
+        assert findings == []
+
+    def test_seeded_numpy_generator_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import numpy as np
+
+            def resolve_key(seed):
+                rng = np.random.default_rng(seed)
+                return int(rng.integers(0, 2**31))
+            """,
+            seeds=[("mod.py", "resolve_key")],
+            select=["REP103"],
+        )
+        assert findings == []
+
+    def test_np_random_global_state_is_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import numpy as np
+
+            def resolve_key(params):
+                return float(np.random.rand())
+            """,
+            seeds=[("mod.py", "resolve_key")],
+            select=["REP103"],
+        )
+        assert codes(findings) == ["REP103"]
+
+    def test_stdlib_random_module_is_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import random
+
+            def resolve_key(params):
+                return random.random()
+            """,
+            seeds=[("mod.py", "resolve_key")],
+            select=["REP103"],
+        )
+        assert codes(findings) == ["REP103"]
+
+
+# -- REP104: float dict keys ------------------------------------------------
+
+
+class TestFloatDictKey:
+    def test_float_literal_dict_key(self, tmp_path):
+        findings = lint(tmp_path, 'TABLE = {0.5: "half"}\n', select=["REP104"])
+        assert codes(findings) == ["REP104"]
+
+    def test_float_subscript_and_get(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            def lookup(table):
+                a = table[1.5]
+                b = table.get(-2.5)
+                return a, b
+            """,
+            select=["REP104"],
+        )
+        assert codes(findings) == ["REP104", "REP104"]
+
+    def test_int_and_str_keys_are_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'TABLE = {1: "one", "pi": 3.14159}\nvalue = TABLE[1]\n',
+            select=["REP104"],
+        )
+        assert findings == []
+
+
+# -- REP201/REP202: the guarded_by checker ----------------------------------
+
+GUARDED_CLASS_HEADER = """
+import threading
+
+from repro.lint.annotations import guarded_by, holds_lock
+
+
+@guarded_by("_lock", "_jobs")
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+"""
+
+
+class TestGuardedAttribute:
+    def test_unlocked_access_is_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    def size(self):
+        return len(self._jobs)
+            """,
+            select=["REP201"],
+        )
+        assert codes(findings) == ["REP201"]
+        assert "_jobs" in findings[0].message
+
+    def test_with_lock_access_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    def size(self):
+        with self._lock:
+            return len(self._jobs)
+            """,
+            select=["REP201"],
+        )
+        assert findings == []
+
+    def test_holds_lock_method_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    @holds_lock("_lock")
+    def _size_locked(self):
+        return len(self._jobs)
+            """,
+            select=["REP201"],
+        )
+        assert findings == []
+
+    def test_init_is_exempt(self, tmp_path):
+        findings = lint(tmp_path, GUARDED_CLASS_HEADER, select=["REP201"])
+        assert findings == []
+
+    def test_access_after_with_block_is_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    def sloppy(self):
+        with self._lock:
+            n = len(self._jobs)
+        return n + len(self._jobs)
+            """,
+            select=["REP201"],
+        )
+        assert codes(findings) == ["REP201"]
+
+    def test_guarded_access_in_with_item_is_flagged(self, tmp_path):
+        # The context expression evaluates *before* the lock is acquired.
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    def racy(self):
+        with self._jobs_guard(self._jobs):
+            pass
+            """,
+            select=["REP201"],
+        )
+        assert codes(findings) == ["REP201"]
+
+
+class TestGuardAnnotationSanity:
+    def test_non_literal_decorator_args(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            from repro.lint.annotations import guarded_by
+
+            LOCK = "_lock"
+
+
+            @guarded_by(LOCK, "_jobs")
+            class Queue:
+                def __init__(self):
+                    self._jobs = {}
+            """,
+            select=["REP202"],
+        )
+        assert codes(findings) == ["REP202"]
+
+    def test_unassigned_lock_and_attribute(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            from repro.lint.annotations import guarded_by
+
+
+            @guarded_by("_lock", "_ghost")
+            class Queue:
+                def __init__(self):
+                    self.real = 1
+            """,
+            select=["REP202"],
+        )
+        assert sorted(codes(findings)) == ["REP202", "REP202"]  # lock + attr
+
+    def test_attribute_guarding_itself(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            import threading
+
+            from repro.lint.annotations import guarded_by
+
+
+            @guarded_by("_lock", "_lock")
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            select=["REP202"],
+        )
+        assert codes(findings) == ["REP202"]
+
+    def test_holds_lock_naming_undeclared_lock(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            GUARDED_CLASS_HEADER
+            + """
+    @holds_lock("_other_lock")
+    def helper(self):
+        return 0
+            """,
+            select=["REP201", "REP202"],
+        )
+        assert codes(findings) == ["REP202"]
+
+
+# -- suppression semantics ---------------------------------------------------
+
+
+class TestSuppressions:
+    def test_justified_trailing_allow_suppresses(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "key = hash(x)  # repro: allow[REP101] -- fixture exercising allows\n",
+            select=["REP101"],
+        )
+        assert findings == []
+
+    def test_justified_standalone_allow_covers_next_line(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            """
+            # repro: allow[REP101] -- fixture exercising standalone allows
+            key = hash(x)
+            """,
+            select=["REP101"],
+        )
+        assert findings == []
+
+    def test_unjustified_allow_becomes_rep002(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "key = hash(x)  # repro: allow[REP101]\n",
+            select=["REP101"],
+        )
+        assert codes(findings) == ["REP002"]
+
+    def test_stale_allow_becomes_rep003(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "key = 42  # repro: allow[REP101] -- nothing here triggers it\n",
+            select=["REP101"],
+        )
+        assert codes(findings) == ["REP003"]
+
+    def test_allow_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "key = hash(x)  # repro: allow[REP104] -- wrong rule on purpose\n",
+            select=["REP101", "REP104"],
+        )
+        assert sorted(codes(findings)) == ["REP003", "REP101"]
+
+    def test_syntax_example_inside_string_is_not_a_suppression(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            'HELP = "suppress with \'# repro: allow[REP101] -- why\'"\n',
+            select=["REP101"],
+        )
+        assert findings == []
+
+
+# -- the runtime annotations -------------------------------------------------
+
+
+class TestAnnotationsRuntime:
+    def test_guarded_by_records_and_stacks(self):
+        @guarded_by("_a_lock", "x")
+        @guarded_by("_b_lock", "y", "z")
+        class Thing:
+            pass
+
+        assert Thing.__guarded_attrs__ == {
+            "x": "_a_lock",
+            "y": "_b_lock",
+            "z": "_b_lock",
+        }
+
+    def test_holds_lock_records(self):
+        @holds_lock("_lock")
+        def helper(self):
+            return 0
+
+        assert helper.__holds_locks__ == ("_lock",)
+
+    def test_empty_annotations_raise(self):
+        with pytest.raises(ValueError):
+            guarded_by("_lock")
+        with pytest.raises(ValueError):
+            holds_lock()
+
+
+# -- parse errors ------------------------------------------------------------
+
+
+def test_syntax_error_becomes_rep001(tmp_path):
+    findings = lint(tmp_path, "def broken(:\n", select=["REP101"])
+    assert codes(findings) == ["REP001"]
+
+
+# -- the CLI surface ---------------------------------------------------------
+
+
+def _run_cli(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(REPO_SRC.parent),
+        },
+    )
+
+
+class TestCli:
+    def test_nonzero_on_seeded_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("key = hash((1, 2))\n", encoding="utf-8")
+        proc = _run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "REP101" in proc.stdout
+
+    def test_zero_on_clean_fixture(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("import hashlib\n", encoding="utf-8")
+        proc = _run_cli(str(good))
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_json_output_parses(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("key = hash((1, 2))\n", encoding="utf-8")
+        proc = _run_cli("--json", str(bad))
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "REP101"
+
+    def test_list_rules_names_every_rule(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ["REP101", "REP102", "REP103", "REP104", "REP201", "REP202"]:
+            assert code in proc.stdout
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("key = hash((1, 2))\n", encoding="utf-8")
+        proc = _run_cli("--select", "REP104", str(bad))
+        assert proc.returncode == 0  # REP101 exists but was not selected
+
+
+# -- the gate: the shipped tree lints clean ----------------------------------
+
+
+def test_repo_tree_lints_clean():
+    findings = run_lint([str(REPO_SRC)])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_repo_tree_scope_resolution_sees_metrics():
+    """The determinism scope must actually match the shipped layout.
+
+    A path-anchoring regression here silently scopes every determinism rule
+    out (the tree lints 'clean' because nothing is checked) — assert the
+    metrics package resolves as in scope.
+    """
+    project = Project([str(REPO_SRC)])
+    scoped = [m.rel for m in project.modules if project.in_determinism_scope(m)]
+    assert any(rel.endswith("metrics/fidelity.py") for rel in scoped)
+    assert any(rel.endswith("store/keys.py") for rel in scoped)
+    seeded = [
+        m.rel
+        for m in project.modules
+        if m.rel.endswith("store/keys.py") and project.is_taint_seed(m, "task_key")
+    ]
+    assert seeded, "store/keys.py functions must seed the taint pass"

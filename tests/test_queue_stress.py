@@ -1,0 +1,179 @@
+"""Stress-style regression tests for :class:`repro.service.queue.JobQueue`.
+
+Many submitter threads race many claimer threads against one queue and the
+invariants the admission/dispatch policy promises are asserted *under
+contention*, not just serially:
+
+* no job is ever claimed twice, and every accepted job is eventually
+  claimed exactly once;
+* a tenant's active (queued + running) job count never exceeds its quota —
+  observed from a sampler thread while the race runs;
+* the admission counters balance: accepted + rejected == attempted;
+* within one priority band, fair dispatch interleaves tenants instead of
+  draining the chatty tenant first.
+
+These are the invariants the ``@guarded_by("_lock", ...)`` annotation on
+``JobQueue`` encodes; the static check (``repro lint``) proves lock
+discipline, this file proves the locked logic itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.service import Job, JobQueue, QuotaExceeded, ServiceRejection
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+def _job(job_id, tenant, priority=0):
+    return Job(job_id=job_id, tenant=tenant, priority=priority, payload={"type": "run"})
+
+
+class TestQueueUnderContention:
+    N_TENANTS = 4
+    SUBMITTERS_PER_TENANT = 3
+    JOBS_PER_SUBMITTER = 25
+    N_CLAIMERS = 4
+
+    def test_no_double_claims_and_quota_holds(self):
+        quota = 8
+        queue = JobQueue(depth=10_000, tenant_quota=quota)
+        start = threading.Event()
+        done_submitting = threading.Event()
+        accepted = []
+        rejected = []
+        claimed = []
+        quota_breaches = []
+        record_lock = threading.Lock()
+        counter = itertools.count()
+
+        def submitter(tenant):
+            start.wait(5.0)
+            for _ in range(self.JOBS_PER_SUBMITTER):
+                job = _job(f"job-{next(counter)}", tenant)
+                try:
+                    queue.submit(job)
+                except ServiceRejection:
+                    with record_lock:
+                        rejected.append(job.job_id)
+                else:
+                    with record_lock:
+                        accepted.append(job.job_id)
+
+        def claimer():
+            start.wait(5.0)
+            while True:
+                job = queue.claim_next(timeout=0.05)
+                if job is None:
+                    if done_submitting.is_set() and not queue.counts().get("queued"):
+                        return
+                    continue
+                with record_lock:
+                    claimed.append(job.job_id)
+                queue.settle(job.job_id, "done")
+
+        def sampler():
+            start.wait(5.0)
+            while not done_submitting.is_set():
+                per_tenant = {}
+                for job in queue.jobs():
+                    if job.status in ("queued", "running"):
+                        per_tenant[job.tenant] = per_tenant.get(job.tenant, 0) + 1
+                for tenant, active in per_tenant.items():
+                    if active > quota:
+                        with record_lock:
+                            quota_breaches.append((tenant, active))
+
+        threads = [
+            threading.Thread(target=submitter, args=(f"tenant-{t}",))
+            for t in range(self.N_TENANTS)
+            for _ in range(self.SUBMITTERS_PER_TENANT)
+        ]
+        threads += [threading.Thread(target=claimer) for _ in range(self.N_CLAIMERS)]
+        sampler_thread = threading.Thread(target=sampler)
+        for thread in threads:
+            thread.start()
+        sampler_thread.start()
+        start.set()
+        for thread in threads[: self.N_TENANTS * self.SUBMITTERS_PER_TENANT]:
+            thread.join(timeout=30.0)
+        done_submitting.set()
+        for thread in threads[self.N_TENANTS * self.SUBMITTERS_PER_TENANT :]:
+            thread.join(timeout=30.0)
+        sampler_thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads), "stress threads wedged"
+
+        attempted = self.N_TENANTS * self.SUBMITTERS_PER_TENANT * self.JOBS_PER_SUBMITTER
+        assert len(accepted) + len(rejected) == attempted
+        # Exactly-once dispatch: every accepted job claimed exactly once.
+        assert sorted(claimed) == sorted(accepted)
+        assert len(set(claimed)) == len(claimed)
+        assert quota_breaches == []
+        # Counter bookkeeping balances (read through the locked snapshot).
+        stats = queue.stats_snapshot()
+        assert stats["submitted"] == len(accepted)
+        assert stats["rejected_quota"] + stats["rejected_full"] == len(rejected)
+        counts = queue.counts()
+        assert counts.get("done", 0) == len(accepted)
+        assert counts.get("queued", 0) == 0
+        assert counts.get("running", 0) == 0
+
+    def test_quota_rejections_are_structured_under_contention(self):
+        queue = JobQueue(depth=1000, tenant_quota=2)
+        queue.submit(_job("a", "loud"))
+        queue.submit(_job("b", "loud"))
+        errors = []
+
+        def hammer(i):
+            try:
+                queue.submit(_job(f"c-{i}", "loud"))
+            except QuotaExceeded as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        # Quota 2 was already exhausted: all eight racing submits rejected,
+        # every rejection carrying a usable retry hint.
+        assert len(errors) == 8
+        assert all(exc.retry_after_s and exc.retry_after_s > 0 for exc in errors)
+        # The quiet tenant is unaffected mid-contention.
+        queue.submit(_job("quiet-1", "quiet"))
+        assert queue.get("quiet-1").status == "queued"
+
+
+class TestFairDispatchUnderLoad:
+    def test_chatty_tenant_does_not_starve_quiet_ones(self):
+        queue = JobQueue(depth=1000, tenant_quota=1000)
+        # One chatty tenant enqueues 30 jobs, two quiet tenants one each,
+        # all at the same priority, chatty first.
+        for i in range(30):
+            queue.submit(_job(f"loud-{i}", "loud"))
+        queue.submit(_job("quiet-a", "alpha"))
+        queue.submit(_job("quiet-b", "beta"))
+        order = []
+        while True:
+            job = queue.claim_next(timeout=0.0)
+            if job is None:
+                break
+            order.append(job.job_id)
+            queue.settle(job.job_id, "done")
+        # Round-robin across tenants: both quiet jobs dispatch within the
+        # first rounds (the cursor advances one tenant per claim, so with 3
+        # tenants both quiet jobs land in the first four claims) instead of
+        # waiting behind the chatty tenant's 30-job backlog.
+        assert "quiet-a" in order[:4]
+        assert "quiet-b" in order[:4]
+
+    def test_priority_bands_still_beat_fairness(self):
+        queue = JobQueue(depth=100, tenant_quota=100)
+        queue.submit(_job("low", "alpha", priority=0))
+        queue.submit(_job("high", "beta", priority=5))
+        first = queue.claim_next(timeout=0.0)
+        assert first is not None and first.job_id == "high"
